@@ -1,0 +1,47 @@
+"""Ablation: the analysis termination budget (paper §4).
+
+The paper terminates the demand-driven analysis after 1000 node-query
+pairs and argues early termination barely hurts because far-flung
+correlation would be too expensive to exploit anyway.  This bench
+sweeps the budget and reports how many correlated conditionals each
+level finds across the suite.
+
+Run:  pytest benchmarks/bench_ablation_budget.py --benchmark-only
+"""
+
+from repro.analysis import AnalysisConfig
+from repro.benchgen.suite import benchmark_names
+from repro.harness.metrics import branch_population, prepare_benchmark
+from repro.utils.tables import render_table
+
+BUDGETS = (10, 50, 200, 1000, 50_000)
+
+
+def correlated_counts(budget):
+    found = fully = 0
+    for name in benchmark_names():
+        context = prepare_benchmark(name)
+        for info in branch_population(
+                context, AnalysisConfig(budget=budget)):
+            found += info.correlated
+            fully += info.fully_correlated
+    return found, fully
+
+
+def test_budget_ablation(benchmark):
+    def sweep():
+        return {budget: correlated_counts(budget) for budget in BUDGETS}
+
+    results = benchmark.pedantic(sweep, rounds=1, iterations=1)
+    rows = [[budget, results[budget][0], results[budget][1]]
+            for budget in BUDGETS]
+    print()
+    print(render_table(["budget", "correlated", "fully correlated"], rows,
+                       title="Ablation: analysis termination budget"))
+    # Monotone: a larger budget never finds less.
+    counts = [results[b][0] for b in BUDGETS]
+    assert counts == sorted(counts)
+    # The paper's observation: 1000 is effectively exhaustive.
+    assert results[1000][0] == results[50_000][0]
+    # And a tiny budget misses real correlation.
+    assert results[10][0] < results[1000][0]

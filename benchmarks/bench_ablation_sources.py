@@ -1,0 +1,63 @@
+"""Ablation: correlation sources (paper §3.1 vs §4).
+
+The paper describes four correlation sources but its implementation
+enabled two (constant assignments and conditional branches).  This
+bench compares: paper-implementation sources, each extra source alone,
+and everything (including the off-by-default offset substitution).
+
+Run:  pytest benchmarks/bench_ablation_sources.py --benchmark-only
+"""
+
+from repro.analysis import AnalysisConfig
+from repro.analysis.config import (ALL_SOURCES, CorrelationSource,
+                                   PAPER_SOURCES)
+from repro.benchgen.suite import benchmark_names
+from repro.harness.metrics import branch_population, prepare_benchmark
+from repro.utils.tables import render_table
+
+CONFIGS = {
+    "paper (const+branch)": AnalysisConfig(sources=PAPER_SOURCES),
+    "+unsigned ranges": AnalysisConfig(sources=frozenset(
+        PAPER_SOURCES | {CorrelationSource.UNSIGNED_CONVERSION})),
+    "+dereference": AnalysisConfig(sources=frozenset(
+        PAPER_SOURCES | {CorrelationSource.POINTER_DEREFERENCE})),
+    "all four": AnalysisConfig(sources=ALL_SOURCES),
+    "all + offset subst": AnalysisConfig(sources=ALL_SOURCES,
+                                         offset_substitution=True),
+}
+
+
+def correlation_counts(config):
+    """(some, fully) correlated conditional counts across the suite."""
+    some = fully = 0
+    for name in benchmark_names():
+        context = prepare_benchmark(name)
+        for info in branch_population(context, config):
+            some += info.correlated
+            fully += info.fully_correlated
+    return some, fully
+
+
+def test_source_ablation(benchmark):
+    def sweep():
+        return {label: correlation_counts(config)
+                for label, config in CONFIGS.items()}
+
+    results = benchmark.pedantic(sweep, rounds=1, iterations=1)
+    rows = [[label, some, fully]
+            for label, (some, fully) in results.items()]
+    print()
+    print(render_table(
+        ["configuration", "some correlation", "full correlation"], rows,
+        title="Ablation: correlation sources"))
+    paper = results["paper (const+branch)"]
+    # Each added source can only help (on both metrics).
+    for label, counts in results.items():
+        assert counts[0] >= paper[0]
+        assert counts[1] >= paper[1]
+    # The extra sources convert partial correlation into full
+    # correlation: unsigned ranges prove the non-error return range,
+    # dereferences prove pointer guards redundant.
+    assert results["+unsigned ranges"][1] > paper[1]
+    assert results["+dereference"][1] > paper[1]
+    assert results["all four"][1] >= results["+unsigned ranges"][1]

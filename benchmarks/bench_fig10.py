@@ -1,0 +1,20 @@
+"""Regenerates paper Figure 10 (duplication vs benefit scatter).
+
+Run:  pytest benchmarks/bench_fig10.py --benchmark-only
+"""
+
+from repro.harness.fig10 import compute_fig10, quadrant_counts, render_fig10
+
+
+def test_fig10(benchmark):
+    data = benchmark(compute_fig10)
+    print()
+    print(render_fig10(data))
+    # The paper's reading of the scatter: interprocedural analysis finds
+    # more correlated conditionals overall, and more of the cheap,
+    # frequently-executed kind (upper-left quadrant).
+    assert len(data.inter) > len(data.intra)
+    inter_quadrants = quadrant_counts(data.inter)
+    intra_quadrants = quadrant_counts(data.intra)
+    assert inter_quadrants["upper_left"] >= intra_quadrants["upper_left"]
+    assert inter_quadrants["upper_left"] > 0

@@ -1,0 +1,31 @@
+"""Regenerates paper Figure 11 (branch reduction vs code growth over the
+per-conditional duplication-limit sweep).  The heaviest experiment: it
+runs the whole optimizer 72 times (6 benchmarks x 6 limits x 2 scopes),
+so it is timed with a single round.
+
+Run:  pytest benchmarks/bench_fig11.py --benchmark-only
+"""
+
+from repro.harness.fig11 import compute_fig11, render_fig11
+
+
+def test_fig11(benchmark):
+    points = benchmark.pedantic(compute_fig11, rounds=1, iterations=1)
+    print()
+    print(render_fig11(points))
+    benchmarks = {p.benchmark for p in points}
+    assert len(benchmarks) == 6
+    for name in benchmarks:
+        inter = {p.duplication_limit: p for p in points
+                 if p.benchmark == name and p.interprocedural}
+        intra = {p.duplication_limit: p for p in points
+                 if p.benchmark == name and not p.interprocedural}
+        # Paper conclusion 1: at every duplication limit, ICBE
+        # eliminates at least as many executed conditionals.
+        for limit in inter:
+            assert inter[limit].reduction_pct >= intra[limit].reduction_pct
+        # Paper conclusion 2: more allowed growth never hurts.
+        limits = sorted(inter)
+        for small, large in zip(limits, limits[1:]):
+            assert (inter[large].reduction_pct
+                    >= inter[small].reduction_pct - 1e-9)

@@ -1,0 +1,21 @@
+"""Regenerates paper Figure 9 (correlation characteristics) and times it.
+
+Run:  pytest benchmarks/bench_fig9.py --benchmark-only
+"""
+
+from repro.harness.fig9 import compute_fig9, render_fig9, summary_ratios
+
+
+def test_fig9(benchmark):
+    rows = benchmark(compute_fig9)
+    print()
+    print(render_fig9(rows))
+    ratios = summary_ratios(rows)
+    print(f"\ninter/intra static detection ratio: "
+          f"{ratios['static_ratio']:.2f} (paper: at least 2)")
+    # The paper's finding: interprocedural analysis detects at least
+    # twice as many correlated conditionals.
+    assert ratios["static_ratio"] >= 2.0
+    # And full correlation is markedly more common interprocedurally.
+    for row in rows:
+        assert row.inter_full_pct >= row.intra_full_pct

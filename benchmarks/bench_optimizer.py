@@ -1,0 +1,39 @@
+"""End-to-end optimizer throughput on the suite (both scopes).
+
+Not a paper table per se: this is the engineering-health benchmark that
+times the full ICBE pipeline (analysis + restructuring + verification)
+the way Table 2 times analysis alone.
+
+Run:  pytest benchmarks/bench_optimizer.py --benchmark-only
+"""
+
+import pytest
+
+from repro.analysis import AnalysisConfig
+from repro.benchgen.suite import benchmark_names
+from repro.harness.metrics import prepare_benchmark
+from repro.transform import ICBEOptimizer, OptimizerOptions
+
+
+@pytest.mark.parametrize("name", benchmark_names())
+def test_optimize_benchmark_interprocedural(benchmark, name):
+    context = prepare_benchmark(name)
+    optimizer = ICBEOptimizer(OptimizerOptions(
+        config=AnalysisConfig(interprocedural=True, budget=1000),
+        duplication_limit=100))
+
+    report = benchmark(lambda: optimizer.optimize(context.icfg))
+    assert report.optimized_count > 0
+
+
+def test_optimize_suite_intraprocedural_baseline(benchmark):
+    contexts = [prepare_benchmark(name) for name in benchmark_names()]
+    optimizer = ICBEOptimizer(OptimizerOptions(
+        config=AnalysisConfig(interprocedural=False, budget=1000),
+        duplication_limit=100))
+
+    def run_all():
+        return [optimizer.optimize(c.icfg) for c in contexts]
+
+    reports = benchmark.pedantic(run_all, rounds=1, iterations=1)
+    assert len(reports) == len(contexts)

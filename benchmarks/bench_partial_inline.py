@@ -1,0 +1,82 @@
+"""Full ICBE followed by partial inlining (paper §5).
+
+The paper's recommended combination: restructure first (splitting keeps
+growth low), then inline only the frequently executed call sites of the
+optimized program to also recover call overhead on hot paths.  This
+bench measures, per suite program, the call executions removed and the
+growth of partial vs exhaustive inlining.
+
+Run:  pytest benchmarks/bench_partial_inline.py --benchmark-only
+"""
+
+from repro.analysis import AnalysisConfig
+from repro.benchgen.suite import benchmark_names
+from repro.harness.metrics import prepare_benchmark
+from repro.interp import run_icfg
+from repro.ir.nodes import CallNode
+from repro.transform import ICBEOptimizer, OptimizerOptions
+from repro.transform.inline import inline_exhaustively, inline_hot_calls
+from repro.utils.tables import render_table
+
+
+def call_executions(icfg, result):
+    return sum(count for node_id, count in result.profile.node_counts.items()
+               if isinstance(icfg.nodes.get(node_id), CallNode))
+
+
+def measure(name):
+    context = prepare_benchmark(name)
+    optimizer = ICBEOptimizer(OptimizerOptions(
+        config=AnalysisConfig(interprocedural=True), duplication_limit=100))
+    optimized = optimizer.optimize(context.icfg).optimized
+    opt_run = run_icfg(optimized, context.bench.workload)
+    assert opt_run.observable == context.execution.observable
+    base_nodes = optimized.executable_node_count()
+    base_calls = call_executions(optimized, opt_run)
+
+    counts = sorted((opt_run.profile.count_of(c.id)
+                     for c in optimized.call_nodes()), reverse=True)
+    threshold = counts[0] // 2 + 1 if counts else 1
+
+    partial = optimized.clone()
+    inlined = inline_hot_calls(partial, opt_run.profile, threshold)
+    partial_run = run_icfg(partial, context.bench.workload)
+    assert partial_run.observable == context.execution.observable
+
+    full = optimized.clone()
+    inline_exhaustively(full, node_budget=100_000)
+    full_run = run_icfg(full, context.bench.workload)
+    assert full_run.observable == context.execution.observable
+
+    def growth(graph):
+        return (100.0 * (graph.executable_node_count() - base_nodes)
+                / base_nodes)
+
+    return {
+        "inlined": inlined,
+        "base_calls": base_calls,
+        "partial_calls": call_executions(partial, partial_run),
+        "partial_growth": growth(partial),
+        "full_growth": growth(full),
+    }
+
+
+def test_partial_inlining(benchmark):
+    def sweep():
+        return {name: measure(name) for name in benchmark_names()}
+
+    results = benchmark.pedantic(sweep, rounds=1, iterations=1)
+    rows = [[name, r["inlined"], r["base_calls"], r["partial_calls"],
+             r["partial_growth"], r["full_growth"]]
+            for name, r in results.items()]
+    print()
+    print(render_table(
+        ["benchmark", "sites inlined", "call execs before",
+         "call execs after", "partial growth %", "full growth %"], rows,
+        title="Paper §5: ICBE + partial inlining"))
+    for name, r in results.items():
+        # Partial inlining removes hot call executions at a fraction of
+        # exhaustive inlining's growth.
+        if r["inlined"]:
+            assert r["partial_calls"] < r["base_calls"], name
+        assert r["partial_growth"] <= r["full_growth"] + 1e-9, name

@@ -1,0 +1,64 @@
+"""The query-cache tradeoff (paper §3.3).
+
+"The analysis cost can be reduced by caching at all nodes the results
+of all queries resolved in previous analyses...  However, maintaining
+the cache proved counterproductive in our implementation due to
+increased memory requirements."
+
+This bench measures both sides on the suite: total node-query pairs
+processed (work saved by the cache) and peak live pairs (the memory the
+paper worried about; fresh engines hold only one conditional's pairs at
+a time).
+
+Run:  pytest benchmarks/bench_query_cache.py --benchmark-only
+"""
+
+from repro.analysis import AnalysisConfig, analyze_branch
+from repro.analysis.engine import CorrelationEngine
+from repro.benchgen.suite import benchmark_names
+from repro.harness.metrics import prepare_benchmark
+from repro.utils.tables import render_table
+
+CONFIG = AnalysisConfig(budget=50_000)
+
+
+def measure(name):
+    context = prepare_benchmark(name)
+    branches = [b.id for b in context.icfg.branch_nodes()]
+
+    fresh_pairs = 0
+    fresh_peak = 0
+    for bid in branches:
+        result = analyze_branch(context.icfg, bid, CONFIG)
+        fresh_pairs += result.stats.pairs_examined
+        fresh_peak = max(fresh_peak, result.stats.queries_raised)
+
+    engine = CorrelationEngine(context.icfg, CONFIG)
+    cached_pairs = 0
+    for bid in branches:
+        result = analyze_branch(context.icfg, bid, CONFIG, engine=engine)
+        cached_pairs += result.stats.pairs_examined
+    cached_peak = sum(len(qs) for qs in engine.raised.values())
+
+    return {"fresh_pairs": fresh_pairs, "cached_pairs": cached_pairs,
+            "fresh_peak": fresh_peak, "cached_peak": cached_peak}
+
+
+def test_query_cache_tradeoff(benchmark):
+    def sweep():
+        return {name: measure(name) for name in benchmark_names()}
+
+    results = benchmark.pedantic(sweep, rounds=1, iterations=1)
+    rows = [[name, r["fresh_pairs"], r["cached_pairs"], r["fresh_peak"],
+             r["cached_peak"]] for name, r in results.items()]
+    print()
+    print(render_table(
+        ["benchmark", "pairs (fresh)", "pairs (cached)",
+         "peak live pairs (fresh)", "peak live pairs (cached)"], rows,
+        title="Paper §3.3: query caching tradeoff"))
+    for name, r in results.items():
+        # The cache always saves work...
+        assert r["cached_pairs"] <= r["fresh_pairs"], name
+        # ...at a memory cost: the cached engine retains more live
+        # pairs than any single fresh analysis needed.
+        assert r["cached_peak"] >= r["fresh_peak"], name

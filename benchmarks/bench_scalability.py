@@ -1,0 +1,60 @@
+"""Scalability: demand-driven analysis cost vs program size (paper §3.3).
+
+The paper argues the analysis is polynomial (O(P*N*V)) because it is
+demand driven.  This bench grows random programs and measures total
+node-query pairs per conditional, which should stay bounded by the
+budget and grow sublinearly with program size for local correlations.
+
+Run:  pytest benchmarks/bench_scalability.py --benchmark-only
+"""
+
+import time
+
+from repro.analysis import AnalysisConfig, analyze_branch
+from repro.benchgen import GeneratorOptions, generate_program
+from repro.ir import lower_program
+from repro.utils.tables import render_table
+
+SIZES = (2, 4, 8, 16)
+CONFIG = AnalysisConfig(budget=1000)
+
+
+def measure(procedures):
+    options = GeneratorOptions(procedures=procedures,
+                               statements_per_proc=10)
+    icfg = lower_program(generate_program(seed=procedures, options=options))
+    started = time.perf_counter()
+    pairs = 0
+    branches = icfg.branch_nodes()
+    for branch in branches:
+        pairs += analyze_branch(icfg, branch.id, CONFIG).stats.pairs_examined
+    elapsed = time.perf_counter() - started
+    return {
+        "nodes": icfg.node_count(),
+        "conds": len(branches),
+        "pairs_per_cond": pairs / max(1, len(branches)),
+        "seconds": elapsed,
+    }
+
+
+def test_analysis_scales(benchmark):
+    def sweep():
+        return {size: measure(size) for size in SIZES}
+
+    results = benchmark.pedantic(sweep, rounds=1, iterations=1)
+    rows = [[size, r["nodes"], r["conds"], r["pairs_per_cond"],
+             round(r["seconds"], 4)]
+            for size, r in results.items()]
+    print()
+    print(render_table(
+        ["procedures", "nodes", "conditionals", "pairs/cond", "seconds"],
+        rows, title="Scalability: demand-driven analysis"))
+    # Demand-driven: per-conditional work bounded by the budget and not
+    # exploding with program size.
+    for r in results.values():
+        assert r["pairs_per_cond"] <= CONFIG.budget
+    small = results[SIZES[0]]["pairs_per_cond"]
+    large = results[SIZES[-1]]["pairs_per_cond"]
+    node_growth = results[SIZES[-1]]["nodes"] / results[SIZES[0]]["nodes"]
+    assert large <= small * node_growth, (
+        "per-conditional analysis work grew faster than program size")

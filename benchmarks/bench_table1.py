@@ -1,0 +1,19 @@
+"""Regenerates paper Table 1 (benchmark characteristics) and times it.
+
+Run:  pytest benchmarks/bench_table1.py --benchmark-only
+"""
+
+from repro.harness.table1 import compute_table1, render_table1
+
+
+def test_table1(benchmark):
+    rows = benchmark(compute_table1)
+    print()
+    print(render_table1(rows))
+    # Shape assertions mirroring the paper's Table 1: conditionals are a
+    # significant share of nodes, and the dynamic share exceeds static
+    # (branches run hot), as in the paper's last two columns.
+    assert len(rows) == 6
+    for row in rows:
+        assert 10.0 < row.static_cond_pct < 45.0
+        assert row.dynamic_cond_pct > row.static_cond_pct * 0.8

@@ -1,0 +1,21 @@
+"""Regenerates paper Table 2 (cost of correlation analysis) and times it.
+
+Run:  pytest benchmarks/bench_table2.py --benchmark-only
+"""
+
+from repro.harness.table2 import compute_table2, render_table2
+
+
+def test_table2(benchmark):
+    rows = benchmark(compute_table2)
+    print()
+    print(render_table2(rows))
+    assert len(rows) == 6
+    for row in rows:
+        # The paper's point: analysis cost is modest.  Demand-driven
+        # analysis examines a bounded number of pairs per conditional
+        # (budget 1000), and memory for queries is within the same
+        # order as the program representation.
+        assert row.pairs_per_conditional <= 1000
+        assert row.analysis_kb < row.progrep_kb * 10
+        assert row.analysis_seconds < 5.0

@@ -1,0 +1,72 @@
+#!/usr/bin/env python3
+"""Quickstart: analyze and optimize one conditional branch.
+
+This walks the full pipeline on a 15-line MiniC program: parse, lower
+to the interprocedural CFG, profile a run, ask the demand-driven
+analysis about a branch, then let the ICBE optimizer eliminate it and
+measure the dynamic effect.
+
+Run:  python examples/quickstart.py
+"""
+
+from repro import (AnalysisConfig, ICBEOptimizer, OptimizerOptions,
+                   Workload, analyze_branch, duplication_upper_bound,
+                   lower_program, parse_program, run_icfg)
+
+SOURCE = """
+// A callee that classifies its input, and a caller that re-tests the
+// classification -- the correlated-branch idiom ICBE removes.
+proc classify(v) {
+    if (v <= 0) { return -1; }       // error marker
+    return (unsigned) v;             // provably non-negative
+}
+
+proc main() {
+    var i = 0;
+    while (i < 8) {
+        var r = classify(input());
+        if (r == -1) { print 0; } else { print r; }
+        i = i + 1;
+    }
+    return 0;
+}
+"""
+
+
+def main() -> None:
+    icfg = lower_program(parse_program(SOURCE))
+    workload = Workload([3, -1, 5, 0, 2, 9, -7, 4])
+
+    before = run_icfg(icfg, workload)
+    print(f"before: output={before.output}")
+    print(f"before: executed conditionals = "
+          f"{before.profile.executed_conditionals}")
+
+    # Ask the analysis about the caller's re-test (r == -1).
+    target = next(b for b in icfg.branch_nodes() if "r == -1" in b.label())
+    result = analyze_branch(icfg, target.id, AnalysisConfig())
+    print(f"\nanalysis of `{target.label()}`:")
+    print(f"  {result.describe()}")
+    print(f"  fully correlated: {result.fully_correlated}")
+    print(f"  duplication upper bound: {duplication_upper_bound(result)}")
+
+    # Optimize the whole program.
+    optimizer = ICBEOptimizer(OptimizerOptions(
+        config=AnalysisConfig(interprocedural=True), duplication_limit=100))
+    report = optimizer.optimize(icfg)
+    after = run_icfg(report.optimized, workload)
+
+    print(f"\noptimized {report.optimized_count} conditionals; "
+          f"nodes {report.nodes_before} -> {report.nodes_after}")
+    print(f"after: output={after.output}")
+    print(f"after: executed conditionals = "
+          f"{after.profile.executed_conditionals}")
+
+    assert after.observable == before.observable, "semantics changed!"
+    assert (after.profile.executed_conditionals
+            < before.profile.executed_conditionals)
+    print("\nsemantics preserved; dynamic branches reduced.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,52 @@
+"""ICBE: Interprocedural Conditional Branch Elimination.
+
+A from-scratch Python reproduction of Bodik, Gupta & Soffa,
+*Interprocedural Conditional Branch Elimination*, PLDI 1997: a MiniC
+front end, a statement-level interprocedural CFG, an executing profiler,
+the paper's demand-driven correlation analysis, and the restructuring
+optimization built on procedure entry/exit splitting.
+
+Quickstart::
+
+    from repro import (parse_program, lower_program, run_icfg, Workload,
+                       ICBEOptimizer, OptimizerOptions, AnalysisConfig)
+
+    icfg = lower_program(parse_program(source_text))
+    before = run_icfg(icfg, Workload([1, 2, 3]))
+
+    optimizer = ICBEOptimizer(OptimizerOptions(
+        config=AnalysisConfig(interprocedural=True),
+        duplication_limit=100))
+    report = optimizer.optimize(icfg)
+    after = run_icfg(report.optimized, Workload([1, 2, 3]))
+
+    assert after.observable == before.observable
+    assert (after.profile.executed_conditionals
+            <= before.profile.executed_conditionals)
+
+See DESIGN.md for the system inventory and EXPERIMENTS.md for the
+reproduction of every table and figure in the paper.
+"""
+
+from repro.analysis import (AnalysisConfig, Answer, CorrelationResult,
+                            CorrelationSource, Query, analyze_branch,
+                            duplication_upper_bound,
+                            eliminated_executions_estimate)
+from repro.interp import ExecutionResult, Machine, Profile, Workload, run_icfg
+from repro.ir import ICFG, dump_icfg, lower_program, verify_icfg
+from repro.lang import parse_program, pretty_print
+from repro.transform import (BranchOutcome, ICBEOptimizer,
+                             OptimizationReport, OptimizerOptions,
+                             restructure_branch)
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "AnalysisConfig", "Answer", "BranchOutcome", "CorrelationResult",
+    "CorrelationSource", "ExecutionResult", "ICBEOptimizer", "ICFG",
+    "Machine", "OptimizationReport", "OptimizerOptions", "Profile", "Query",
+    "Workload", "analyze_branch", "dump_icfg", "duplication_upper_bound",
+    "eliminated_executions_estimate", "lower_program", "parse_program",
+    "pretty_print", "restructure_branch", "run_icfg", "verify_icfg",
+    "__version__",
+]

@@ -1,0 +1,87 @@
+"""Query answers: TRUE, FALSE, UNDEF, and refined TRANS.
+
+The paper resolves queries to one of four answers.  TRUE/FALSE mark a
+correlated path; UNDEF marks a path where the value is unknown; TRANS
+marks, for summary-node queries only, a path through the procedure along
+which the query was not resolved (the procedure is *transparent*).
+
+We refine TRANS with the pair ``(entry node, surviving query variant)``:
+back-substitution inside the procedure may transform the query before it
+reaches an entry (e.g. a global rewritten to a parameter), and different
+transparent paths may surrender different variants.  Restructuring needs
+to route each transparent path to the caller answer of *its* variant, so
+the variant is part of the answer's identity.  (The paper's presentation
+keeps a single TRANS and stores the variants in the summary-node entry;
+the information content is the same.)
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import FrozenSet, Iterable, Optional
+
+from repro.analysis.query import Query
+
+
+@dataclass(frozen=True)
+class Answer:
+    """One of TRUE / FALSE / UNDEF / TRANS(entry, variant)."""
+
+    kind: str                     # "true" | "false" | "undef" | "trans"
+    trans_entry: Optional[int] = None
+    trans_query: Optional[Query] = None
+
+    @property
+    def is_trans(self) -> bool:
+        return self.kind == "trans"
+
+    @property
+    def is_known(self) -> bool:
+        """TRUE or FALSE — a correlated outcome."""
+        return self.kind in ("true", "false")
+
+    def sort_key(self) -> tuple:
+        if self.is_trans:
+            assert self.trans_query is not None
+            return (3, self.trans_entry or -1, self.trans_query.sort_key())
+        return ({"true": 0, "false": 1, "undef": 2}[self.kind], -1, ())
+
+    def __str__(self) -> str:
+        if self.is_trans:
+            return f"TRANS(entry={self.trans_entry},{self.trans_query})"
+        return self.kind.upper()
+
+
+TRUE = Answer("true")
+FALSE = Answer("false")
+UNDEF = Answer("undef")
+
+
+def trans(entry_id: int, variant: Query) -> Answer:
+    """A TRANS answer carrying the surviving variant at ``entry_id``."""
+    return Answer("trans", trans_entry=entry_id, trans_query=variant)
+
+
+def from_bool(value: bool) -> Answer:
+    """TRUE/FALSE from a concrete evaluation."""
+    return TRUE if value else FALSE
+
+
+AnswerSet = FrozenSet[Answer]
+
+EMPTY: AnswerSet = frozenset()
+
+
+def answer_set(answers: Iterable[Answer]) -> AnswerSet:
+    """Freeze an iterable of answers."""
+    return frozenset(answers)
+
+
+def sorted_answers(answers: Iterable[Answer]) -> list:
+    """Answers in the deterministic report order."""
+    return sorted(answers, key=Answer.sort_key)
+
+
+def format_answers(answers: Iterable[Answer]) -> str:
+    """Render an answer set like ``{TRUE, UNDEF}``."""
+    return "{" + ", ".join(str(a) for a in sorted_answers(answers)) + "}"

@@ -1,0 +1,92 @@
+"""Analysis configuration: scope, budget, and enabled correlation sources.
+
+The paper's implementation recognised constant assignments and
+conditional branches as correlation sources (§4 "Implementation"); the
+techniques section also describes unsigned conversions and pointer
+dereferences (§3.1).  All four are implemented here and individually
+selectable, with the paper's implemented pair as an explicit preset so
+experiments can match either the described or the measured system.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from enum import Enum, unique
+from typing import FrozenSet
+
+
+@unique
+class CorrelationSource(Enum):
+    """The four sources of static correlation from paper §3.1."""
+
+    CONSTANT_ASSIGNMENT = "constant-assignment"
+    BRANCH_ASSERTION = "branch-assertion"
+    UNSIGNED_CONVERSION = "unsigned-conversion"
+    POINTER_DEREFERENCE = "pointer-dereference"
+
+
+ALL_SOURCES: FrozenSet[CorrelationSource] = frozenset(CorrelationSource)
+
+#: The two sources the paper's ICC implementation enabled (§4).
+PAPER_SOURCES: FrozenSet[CorrelationSource] = frozenset({
+    CorrelationSource.CONSTANT_ASSIGNMENT,
+    CorrelationSource.BRANCH_ASSERTION,
+})
+
+#: Paper §4: "the analysis was terminated after 1000 node-query pairs".
+DEFAULT_BUDGET = 1000
+
+#: Effectively exhaustive analysis (Figures 9 and 10 use this).
+UNLIMITED_BUDGET = 10**9
+
+
+@dataclass(frozen=True)
+class AnalysisConfig:
+    """Knobs for one run of the correlation analysis.
+
+    - ``interprocedural``: queries may cross entry/exit boundaries.  The
+      intraprocedural baseline (False) keeps queries inside a procedure
+      and consults transitive MOD sets at call sites, mirroring the
+      paper's baseline that "used MOD and USE procedure summary
+      information at call sites".
+    - ``budget``: maximum node-query pairs examined before remaining
+      queries resolve conservatively to UNDEF (paper §4, Fig. 4 line 5).
+    - ``sources``: enabled correlation sources.
+    - ``copy_substitution``: interpret copy assignments ``v := w``.
+    - ``offset_substitution``: also interpret ``v := w ± c`` (the "more
+      general symbolic back-substitution" of §3.1).  Off by default —
+      the paper's implementation interprets only plain copies, and
+      offset rewriting around loop increments generates one query
+      variant per iteration count.  When enabled, variants whose
+      constant exceeds ``offset_constant_limit`` in magnitude resolve
+      to UNDEF so the query space stays finite.
+    - ``resolve_initialized_globals``: a query on a global reaching the
+      program's start entry resolves against the static initializer
+      (MiniC globals are definitely initialized, so this is exact).
+    """
+
+    interprocedural: bool = True
+    budget: int = DEFAULT_BUDGET
+    sources: FrozenSet[CorrelationSource] = field(default=ALL_SOURCES)
+    copy_substitution: bool = True
+    offset_substitution: bool = False
+    offset_constant_limit: int = 64
+    resolve_initialized_globals: bool = True
+
+    def has(self, source: CorrelationSource) -> bool:
+        return source in self.sources
+
+    @staticmethod
+    def interprocedural_default(budget: int = DEFAULT_BUDGET) -> "AnalysisConfig":
+        return AnalysisConfig(interprocedural=True, budget=budget)
+
+    @staticmethod
+    def intraprocedural_default(budget: int = DEFAULT_BUDGET) -> "AnalysisConfig":
+        return AnalysisConfig(interprocedural=False, budget=budget)
+
+    @staticmethod
+    def paper_implementation(interprocedural: bool = True,
+                             budget: int = DEFAULT_BUDGET) -> "AnalysisConfig":
+        """The configuration matching the paper's measured system."""
+        return AnalysisConfig(interprocedural=interprocedural, budget=budget,
+                              sources=PAPER_SOURCES)

@@ -1,0 +1,80 @@
+"""Cost/benefit estimation for eliminating one conditional (paper §3.1).
+
+The analysis provides, before any restructuring happens:
+
+- an **upper bound on code duplication**: a node hosting ``k`` answers
+  to a query must be split ``k`` ways; with several queries the bound is
+  the cross product ("the actual code growth is usually lower because a
+  node split on one query may separate answers to other queries");
+- a **profile-based estimate of eliminated dynamic branch executions**:
+  the execution frequencies of the sites where the query resolved to a
+  known outcome, capped by the conditional's own execution count.
+
+The optimizer uses the duplication bound as its gate (Fig. 11 sweeps
+the per-conditional limit) and the benefit estimate for reporting
+(Fig. 10's scatter).
+"""
+
+from __future__ import annotations
+
+from repro.analysis.engine import (CallExitDisposition, DecidedDisposition,
+                                   PerEdgeDisposition)
+from repro.analysis.answers import Answer
+from repro.analysis.result import CorrelationResult
+from repro.analysis.rollback import answers_at
+from repro.interp.profile import Profile
+from repro.ir.icfg import EdgeKind
+from repro.ir.nodes import BranchNode
+
+
+def duplication_upper_bound(result: CorrelationResult) -> int:
+    """Upper bound on new nodes created to eliminate this conditional."""
+    if result.engine is None:
+        return 0
+    extra = 0
+    for node_id, queries in result.engine.raised.items():
+        copies = 1
+        for query in queries:
+            answers = answers_at(result.answers, node_id, query)
+            copies *= max(1, len(answers))
+        extra += copies - 1
+    return extra
+
+
+def _edge_frequency(profile: Profile, result: CorrelationResult,
+                    src_id: int, kind: EdgeKind) -> int:
+    """Execution frequency of an edge, from its source's profile."""
+    node = result.icfg.nodes.get(src_id)
+    if isinstance(node, BranchNode):
+        if kind is EdgeKind.TRUE:
+            return profile.branch_taken(src_id, True)
+        if kind is EdgeKind.FALSE:
+            return profile.branch_taken(src_id, False)
+    return profile.count_of(src_id)
+
+
+def eliminated_executions_estimate(result: CorrelationResult,
+                                   profile: Profile) -> int:
+    """Estimated dynamic branch executions removed by optimizing this
+    conditional, from the frequencies of the resolution sites."""
+    if result.engine is None or not result.has_correlation:
+        return 0
+    total = 0
+    for (node_id, _query), disposition in result.engine.dispositions.items():
+        if isinstance(disposition, DecidedDisposition):
+            if disposition.answer.is_known:
+                total += profile.count_of(node_id)
+        elif isinstance(disposition, PerEdgeDisposition):
+            for contrib in disposition.contribs:
+                if contrib.answer is not None and contrib.answer.is_known:
+                    total += _edge_frequency(profile, result,
+                                             contrib.edge.src,
+                                             contrib.edge.kind)
+        elif isinstance(disposition, CallExitDisposition):
+            pass  # answers flow from elsewhere; already counted there
+    for key, continuation in result.engine.cont_table.items():
+        if isinstance(continuation, Answer) and continuation.is_known:
+            call_id = key[0]
+            total += profile.count_of(call_id)
+    branch_executions = profile.branch_executions(result.branch_id)
+    return min(total, branch_executions)

@@ -1,0 +1,224 @@
+"""Value-set facts and the decision procedure behind query resolution.
+
+Every fact the four correlation sources produce is expressible as an
+integer set of the form *interval minus at most one point*:
+
+- constant assignment ``v := 7``      → ``[7, 7]``
+- branch assertion ``v < c`` (edges)  → ``(-inf, c-1]`` / ``[c, +inf)``
+- unsigned conversion (source #3)     → ``[0, 255]``
+- successful dereference (source #4)  → ``Z \\ {0}``
+- ``alloc`` result                    → ``[0, +inf)``
+
+A query ``(relop, c)`` denotes such a set too.  Resolution is then set
+containment: fact ⊆ query ⇒ TRUE on this path; fact ∩ query = ∅ ⇒
+FALSE; otherwise the fact does not decide the query.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+from repro.ir.ops import RelOp, UNSIGNED_MASK
+
+
+@dataclass(frozen=True)
+class ValueSet:
+    """``{x : lo <= x <= hi} \\ {exclude}`` with None bounds = infinite."""
+
+    lo: Optional[int] = None
+    hi: Optional[int] = None
+    exclude: Optional[int] = None
+
+    def __post_init__(self) -> None:
+        if (self.lo is not None and self.hi is not None
+                and self.lo > self.hi):
+            raise ValueError(f"empty interval [{self.lo}, {self.hi}]")
+        if self.exclude is not None and not self._interval_contains(self.exclude):
+            # A moot exclusion; normalise it away for value equality.
+            object.__setattr__(self, "exclude", None)
+
+    # -- constructors ------------------------------------------------------
+
+    @staticmethod
+    def singleton(value: int) -> "ValueSet":
+        return ValueSet(value, value)
+
+    @staticmethod
+    def everything_but(value: int) -> "ValueSet":
+        return ValueSet(None, None, exclude=value)
+
+    @staticmethod
+    def at_least(value: int) -> "ValueSet":
+        return ValueSet(lo=value)
+
+    @staticmethod
+    def at_most(value: int) -> "ValueSet":
+        return ValueSet(hi=value)
+
+    @staticmethod
+    def unsigned_range() -> "ValueSet":
+        return ValueSet(0, UNSIGNED_MASK)
+
+    @staticmethod
+    def nonzero() -> "ValueSet":
+        return ValueSet.everything_but(0)
+
+    @staticmethod
+    def from_relop(relop: RelOp, const: int) -> "ValueSet":
+        """The set of values v with ``v relop const``."""
+        if relop is RelOp.EQ:
+            return ValueSet.singleton(const)
+        if relop is RelOp.NE:
+            return ValueSet.everything_but(const)
+        if relop is RelOp.LT:
+            return ValueSet.at_most(const - 1)
+        if relop is RelOp.LE:
+            return ValueSet.at_most(const)
+        if relop is RelOp.GT:
+            return ValueSet.at_least(const + 1)
+        return ValueSet.at_least(const)  # GE
+
+    # -- predicates -----------------------------------------------------------
+
+    def _interval_contains(self, value: int) -> bool:
+        if self.lo is not None and value < self.lo:
+            return False
+        if self.hi is not None and value > self.hi:
+            return False
+        return True
+
+    def contains(self, value: int) -> bool:
+        return self._interval_contains(value) and value != self.exclude
+
+    @property
+    def is_bounded(self) -> bool:
+        return self.lo is not None and self.hi is not None
+
+    @property
+    def is_empty(self) -> bool:
+        """True for the one degenerate form: a singleton minus itself.
+
+        The correlation sources never produce it, but the algebra stays
+        total: the empty set is a subset of and disjoint from anything.
+        """
+        return (self.lo is not None and self.lo == self.hi
+                and self.exclude == self.lo)
+
+    def size_if_small(self, cap: int = 4) -> Optional[int]:
+        """Cardinality when bounded and at most ``cap``; else None."""
+        if not self.is_bounded:
+            return None
+        assert self.lo is not None and self.hi is not None
+        count = self.hi - self.lo + 1
+        if self.exclude is not None:
+            count -= 1
+        return count if count <= cap else None
+
+    # -- the decision procedure ---------------------------------------------
+
+    def is_subset_of(self, other: "ValueSet") -> bool:
+        """Sound, complete subset test for this set representation."""
+        if self.is_empty:
+            return True
+        # First: self's interval must fit inside other's interval, except
+        # that self's excluded point may cover a one-point overhang.
+        lo_gap = _gap_below(self, other)
+        hi_gap = _gap_above(self, other)
+        overhang_points = []
+        if lo_gap is None or hi_gap is None:
+            return False  # infinite overhang
+        if lo_gap > 1 or hi_gap > 1:
+            return False  # more than one point sticks out on a side
+        if lo_gap == 1:
+            assert self.lo is not None
+            overhang_points.append(self.lo)
+        if hi_gap == 1:
+            assert self.hi is not None
+            overhang_points.append(self.hi)
+        if len(overhang_points) > 1:
+            return False
+        if overhang_points and overhang_points[0] != self.exclude:
+            return False
+        # Second: other's excluded point must not be an element of self.
+        if other.exclude is not None and self.contains(other.exclude):
+            return False
+        return True
+
+    def is_disjoint_from(self, other: "ValueSet") -> bool:
+        """Sound, complete disjointness test."""
+        if self.is_empty or other.is_empty:
+            return True
+        lo = _max_opt(self.lo, other.lo)
+        hi = _min_opt(self.hi, other.hi)
+        if lo is not None and hi is not None:
+            if lo > hi:
+                return True
+            width = hi - lo + 1
+            if width <= 2:
+                excluded = {self.exclude, other.exclude}
+                return all(lo + i in excluded for i in range(width))
+            return False
+        # Infinite intersection interval: at most 2 excluded points
+        # cannot empty it.
+        return False
+
+    def __str__(self) -> str:
+        lo = "-inf" if self.lo is None else str(self.lo)
+        hi = "+inf" if self.hi is None else str(self.hi)
+        base = f"[{lo}, {hi}]"
+        if self.exclude is not None:
+            base += f" \\ {{{self.exclude}}}"
+        return base
+
+
+def _gap_below(inner: ValueSet, outer: ValueSet) -> Optional[int]:
+    """How many of inner's low-side points lie below outer's interval.
+
+    Returns None for an infinite overhang, otherwise a count clamped
+    at 2 (we only care about 0, 1, or "too many").
+    """
+    if outer.lo is None:
+        return 0
+    if inner.lo is None:
+        return None
+    gap = outer.lo - inner.lo
+    return max(0, min(gap, 2))
+
+
+def _gap_above(inner: ValueSet, outer: ValueSet) -> Optional[int]:
+    if outer.hi is None:
+        return 0
+    if inner.hi is None:
+        return None
+    gap = inner.hi - outer.hi
+    return max(0, min(gap, 2))
+
+
+def _max_opt(a: Optional[int], b: Optional[int]) -> Optional[int]:
+    if a is None:
+        return b
+    if b is None:
+        return a
+    return max(a, b)
+
+
+def _min_opt(a: Optional[int], b: Optional[int]) -> Optional[int]:
+    if a is None:
+        return b
+    if b is None:
+        return a
+    return min(a, b)
+
+
+def decide(fact: ValueSet, relop: RelOp, const: int) -> Optional[bool]:
+    """Does knowing ``v ∈ fact`` decide ``v relop const``?
+
+    True/False when decided; None when the fact is insufficient.
+    """
+    query_set = ValueSet.from_relop(relop, const)
+    if fact.is_subset_of(query_set):
+        return True
+    if fact.is_disjoint_from(query_set):
+        return False
+    return None

@@ -1,0 +1,62 @@
+"""Queries: the unit of demand in the correlation analysis.
+
+A query ``(v relop c)`` asks whether the relation is known to hold.  The
+paper's queries are tuples ``(v, relop, c, sne)`` where ``sne`` marks
+summary-node queries; we carry the owning exit node id instead (queries
+are immutable values, so the summary table is keyed externally).
+
+Back-substitution (paper §3.1) rewrites a query across a copy-like
+assignment.  We support the generalised offset form: crossing
+``v := w + d`` turns ``(v relop c)`` into ``(w relop c - d)``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+from typing import Optional
+
+from repro.ir.expr import VarId
+from repro.ir.ops import RelOp
+
+
+@dataclass(frozen=True)
+class Query:
+    """``(var relop const)``, optionally tagged as a summary-node query.
+
+    ``summary_exit`` is the procedure-exit node id the summary is being
+    computed for, or ``None`` for ordinary (caller-context) queries.
+    """
+
+    var: VarId
+    relop: RelOp
+    const: int
+    summary_exit: Optional[int] = None
+
+    @property
+    def is_summary(self) -> bool:
+        return self.summary_exit is not None
+
+    def holds_for(self, value: int) -> bool:
+        """Evaluate the query against a concrete value."""
+        return self.relop.evaluate(value, self.const)
+
+    def substituted(self, var: VarId, offset: int = 0) -> "Query":
+        """The query after crossing ``old_var := var + offset``."""
+        return replace(self, var=var, const=self.const - offset)
+
+    def as_summary(self, exit_id: int) -> "Query":
+        return replace(self, summary_exit=exit_id)
+
+    def as_plain(self) -> "Query":
+        """The same relation without the summary tag."""
+        if self.summary_exit is None:
+            return self
+        return replace(self, summary_exit=None)
+
+    def sort_key(self) -> tuple:
+        return (str(self.var), self.relop.value, self.const,
+                -1 if self.summary_exit is None else self.summary_exit)
+
+    def __str__(self) -> str:
+        tag = f"@exit{self.summary_exit}" if self.is_summary else ""
+        return f"({self.var} {self.relop} {self.const}){tag}"

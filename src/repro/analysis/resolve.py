@@ -1,0 +1,207 @@
+"""Per-node and per-edge query resolution (the four correlation sources).
+
+``node_transfer`` answers: given that node ``n`` executes last, what
+happens to query ``q`` about the post-``n`` state?  Either the node
+*decides* the query (TRUE/FALSE outcome known, or UNDEF when the
+variable gets an unknown value), or the query *continues* to the
+pre-``n`` state, possibly rewritten by back-substitution.
+
+``edge_assertion`` answers: does crossing edge ``m -> n`` decide the
+query?  True/false out-edges of a branch carry the branch's assertion
+(source #2); nothing else asserts on edges.
+
+Source summary (paper §3.1):
+
+1. constant assignment     ``v := c``        (node, decides or nothing)
+2. branch assertion        true/false edges  (edge, decides or passes)
+3. unsigned conversion     ``v := (unsigned) e``  → fact v ∈ [0, 255]
+   (we also give ``v := alloc(e)`` the fact v ∈ [0, +inf), same gate)
+4. pointer dereference     a completed load/store through ``p``
+   guarantees ``p != 0`` afterwards (decides or passes)
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional, Union
+
+from repro.analysis.answers import Answer, UNDEF, from_bool
+from repro.analysis.config import AnalysisConfig, CorrelationSource
+from repro.analysis.facts import ValueSet, decide
+from repro.analysis.query import Query
+from repro.ir.expr import (Alloc, Const, Convert, InputRead, Load, VarId,
+                           as_const, as_var, as_var_plus_const,
+                           direct_deref_vars)
+from repro.ir.icfg import Edge, EdgeKind, ICFG
+from repro.ir.nodes import (AssignNode, BranchNode, CallNode, ExitNode, Node,
+                            NopNode, PrintNode, StoreNode)
+
+
+@dataclass(frozen=True)
+class Decided:
+    """The node decides the query for all paths through it."""
+
+    answer: Answer
+
+
+@dataclass(frozen=True)
+class Proceed:
+    """The query continues past the node, possibly rewritten."""
+
+    query: Query
+
+
+Transfer = Union[Decided, Proceed]
+
+
+def _decide_with_fact(fact: ValueSet, query: Query,
+                      on_unknown: Transfer) -> Transfer:
+    verdict = decide(fact, query.relop, query.const)
+    if verdict is None:
+        return on_unknown
+    return Decided(from_bool(verdict))
+
+
+def _assignment_transfer(node: AssignNode, query: Query,
+                         config: AnalysisConfig) -> Transfer:
+    """Effect of ``target := rhs`` on a query about ``target``."""
+    rhs = node.rhs
+    value = as_const(rhs)
+    if value is not None:
+        if config.has(CorrelationSource.CONSTANT_ASSIGNMENT):
+            return Decided(from_bool(query.holds_for(value)))
+        return Decided(UNDEF)
+
+    copy = as_var_plus_const(rhs)
+    if copy is not None and config.copy_substitution:
+        source_var, offset = copy
+        if offset == 0:
+            return Proceed(query.substituted(source_var, 0))
+        if config.offset_substitution:
+            rewritten = query.substituted(source_var, offset)
+            if abs(rewritten.const) <= config.offset_constant_limit:
+                return Proceed(rewritten)
+        return Decided(UNDEF)
+
+    if isinstance(rhs, Convert):
+        if config.has(CorrelationSource.UNSIGNED_CONVERSION):
+            return _decide_with_fact(ValueSet.unsigned_range(), query,
+                                     Decided(UNDEF))
+        return Decided(UNDEF)
+
+    if isinstance(rhs, Alloc):
+        # alloc yields NULL or a positive address: a range fact, gated
+        # with the other value-range source.
+        if config.has(CorrelationSource.UNSIGNED_CONVERSION):
+            return _decide_with_fact(ValueSet.at_least(0), query,
+                                     Decided(UNDEF))
+        return Decided(UNDEF)
+
+    if isinstance(rhs, (InputRead, Load)):
+        return Decided(UNDEF)
+
+    # Arbitrary computation: value unknown.
+    return Decided(UNDEF)
+
+
+def _deref_fact_applies(node: Node, var: VarId) -> bool:
+    """Does executing ``node`` dereference ``var`` directly?"""
+    if isinstance(node, AssignNode):
+        return var in direct_deref_vars([node.rhs])
+    if isinstance(node, StoreNode):
+        address_var = as_var(node.address)
+        if address_var == var:
+            return True
+        return var in direct_deref_vars([node.address, node.value])
+    return False
+
+
+def node_transfer(icfg: ICFG, node: Node, query: Query,
+                  config: AnalysisConfig) -> Transfer:
+    """Resolve or rewrite ``query`` across ``node`` (backwards).
+
+    Entry and call-site exit nodes are interprocedural boundaries the
+    engine handles itself; this function covers every other node kind.
+    """
+    if isinstance(node, AssignNode) and node.target == query.var:
+        return _assignment_transfer(node, query, config)
+
+    if (config.has(CorrelationSource.POINTER_DEREFERENCE)
+            and _deref_fact_applies(node, query.var)):
+        # The node completed a dereference of the query variable, so on
+        # every path leaving it the variable is non-zero.  This asserts
+        # without defining: if the fact does not decide, the query keeps
+        # propagating (the dereference did not change the value).
+        return _decide_with_fact(ValueSet.nonzero(), query, Proceed(query))
+
+    if isinstance(node, (AssignNode, BranchNode, CallNode, ExitNode, NopNode,
+                         PrintNode, StoreNode)):
+        return Proceed(query)
+
+    raise TypeError(
+        f"node_transfer cannot handle {type(node).__name__} (id {node.id})")
+
+
+def edge_assertion(icfg: ICFG, edge: Edge, query: Query,
+                   config: AnalysisConfig) -> Optional[bool]:
+    """Does the assertion carried by ``edge`` decide ``query``?
+
+    Only true/false out-edges of branches whose predicate matches
+    ``(v relop c)`` on the query's variable carry assertions.
+    """
+    if edge.kind not in (EdgeKind.TRUE, EdgeKind.FALSE):
+        return None
+    if not config.has(CorrelationSource.BRANCH_ASSERTION):
+        return None
+    source = icfg.nodes[edge.src]
+    if not isinstance(source, BranchNode):
+        return None
+    pattern = source.correlation_pattern()
+    if pattern is None:
+        return None
+    var, relop, const = pattern
+    if var != query.var:
+        return None
+    if edge.kind is EdgeKind.FALSE:
+        relop = relop.negated()
+    fact = ValueSet.from_relop(relop, const)
+    return decide(fact, query.relop, query.const)
+
+
+def entry_param_contribution(call: CallNode, param_index: int, query: Query,
+                             config: AnalysisConfig
+                             ) -> Union[Answer, Query, None]:
+    """Cross a CALL edge backwards: rewrite a parameter query to the
+    caller's argument expression at ``call``.
+
+    Returns an :class:`Answer` when the argument decides the query
+    immediately (constant argument, or an argument too complex to track
+    → UNDEF), a rewritten :class:`Query` to raise at the call node, or
+    ``None`` only on malformed input (arity mismatch).
+    """
+    if param_index >= len(call.args):
+        return UNDEF
+    arg = call.args[param_index]
+    value = as_const(arg)
+    if value is not None:
+        return from_bool(query.holds_for(value))
+    if config.copy_substitution:
+        copy = as_var_plus_const(arg)
+        if copy is not None:
+            source_var, offset = copy
+            if offset == 0:
+                return query.substituted(source_var, 0)
+            if config.offset_substitution:
+                rewritten = query.substituted(source_var, offset)
+                if abs(rewritten.const) <= config.offset_constant_limit:
+                    return rewritten
+    return UNDEF
+
+
+def arg_index_of_param(icfg: ICFG, proc: str, var: VarId) -> Optional[int]:
+    """The parameter position of ``var`` in ``proc``, if it is one."""
+    params = icfg.procs[proc].params
+    try:
+        return params.index(var)
+    except ValueError:
+        return None

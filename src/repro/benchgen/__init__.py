@@ -1,0 +1,20 @@
+"""Workload substrate: benchmark programs and random program generation.
+
+The paper evaluates on SPEC95 integer codes, which we cannot ship; this
+package provides the substitute described in DESIGN.md:
+
+- :mod:`repro.benchgen.patterns` — source-level idiom builders for the
+  correlation patterns the paper identifies (return-value re-checks,
+  repeated parameter validation, error-flag propagation, EOF loops...);
+- :mod:`repro.benchgen.suite` — six fixed benchmark programs assembled
+  from those idioms plus realistic noise, standing in for the paper's
+  go / m88ksim / compress / li / perl / ICC benchmarks;
+- :mod:`repro.benchgen.generator` — a seeded random generator of valid,
+  terminating MiniC programs (fuel for property-based testing).
+"""
+
+from repro.benchgen.generator import GeneratorOptions, generate_program
+from repro.benchgen.suite import BenchmarkProgram, benchmark_suite
+
+__all__ = ["BenchmarkProgram", "GeneratorOptions", "benchmark_suite",
+           "generate_program"]

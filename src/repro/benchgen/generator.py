@@ -1,0 +1,283 @@
+"""Seeded random generator of valid, terminating MiniC programs.
+
+Programs are correct by construction:
+
+- the call graph is acyclic (a procedure only calls higher-numbered
+  procedures), so there is no unbounded recursion;
+- every loop is either counted (`i` from 0 to a small bound, with the
+  counter never reassigned in the body) or fuel-bounded;
+- heap accesses only happen through pointers that were allocated with a
+  positive size or guarded by a null check, so generated programs never
+  fault (faulting programs are still *handled* by the system — the
+  differential tests compare fault behaviour — they are just not what
+  this generator aims for);
+- a fraction of the code comes from the correlation idiom templates in
+  :mod:`repro.benchgen.patterns`, the rest is arithmetic/branch noise.
+
+Generation is deterministic per seed, which is what the property-based
+tests and the scalability benchmarks need.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+from typing import List, Optional
+
+from repro.lang import ast
+
+
+@dataclass
+class GeneratorOptions:
+    """Knobs for random program shape."""
+
+    procedures: int = 4           # in addition to main
+    globals: int = 2
+    max_params: int = 3
+    statements_per_proc: int = 8
+    max_depth: int = 3
+    loop_bound: int = 4
+    idiom_probability: float = 0.35
+    use_heap: bool = True
+    use_input: bool = True
+
+
+class _ProcContext:
+    """Mutable state while generating one procedure body."""
+
+    def __init__(self, name: str, params: List[str]) -> None:
+        self.name = name
+        self.params = params
+        self.scalars: List[str] = list(params)
+        self.pointers: List[str] = []       # vars proven non-null
+        self.counters: List[str] = []       # reserved loop counters
+        self.var_count = 0
+
+    def fresh_var(self, prefix: str = "v") -> str:
+        name = f"{prefix}{self.var_count}"
+        self.var_count += 1
+        return name
+
+
+class _Generator:
+    def __init__(self, options: GeneratorOptions, seed: int) -> None:
+        self.options = options
+        self.rng = random.Random(seed)
+        self.flag_global = "err"
+        self.global_names = [f"g{i}" for i in range(options.globals)]
+        self.proc_names = [f"p{i}" for i in range(options.procedures)]
+        self.proc_params: dict = {}
+        self.library_names: List[str] = []
+
+    # -- expressions ----------------------------------------------------------
+
+    def _readable(self, ctx: _ProcContext) -> List[str]:
+        names = [n for n in ctx.scalars if n not in ctx.counters]
+        names.extend(self.global_names)
+        return names
+
+    def gen_operand(self, ctx: _ProcContext) -> ast.Expr:
+        names = self._readable(ctx)
+        if names and self.rng.random() < 0.6:
+            return ast.VarRef(name=self.rng.choice(names))
+        return ast.IntLit(value=self.rng.randint(-4, 9))
+
+    def gen_expr(self, ctx: _ProcContext, depth: int = 0) -> ast.Expr:
+        roll = self.rng.random()
+        if depth >= 2 or roll < 0.35:
+            return self.gen_operand(ctx)
+        if roll < 0.85:
+            op = self.rng.choice(["+", "-", "*", "+", "-"])
+            return ast.Binary(op=op, left=self.gen_expr(ctx, depth + 1),
+                              right=self.gen_expr(ctx, depth + 1))
+        if roll < 0.92:
+            operand = self.gen_expr(ctx, depth + 1)
+            if isinstance(operand, ast.IntLit):
+                # Match the parser's folding of unary minus on literals
+                # so generated ASTs are in canonical (re-parsable) form.
+                return ast.IntLit(value=-operand.value)
+            return ast.Unary(op="-", operand=operand)
+        return ast.UnsignedCast(operand=self.gen_expr(ctx, depth + 1))
+
+    def gen_condition(self, ctx: _ProcContext) -> ast.Expr:
+        relop = self.rng.choice(["==", "!=", "<", "<=", ">", ">="])
+        left = self.gen_operand(ctx)
+        # Bias towards the analyzable (var relop const) shape, like the
+        # 45% of analyzable conditionals the paper reports.
+        if self.rng.random() < 0.75:
+            right: ast.Expr = ast.IntLit(value=self.rng.randint(-2, 4))
+        else:
+            right = self.gen_operand(ctx)
+        cond: ast.Expr = ast.Binary(op=relop, left=left, right=right)
+        if self.rng.random() < 0.15:
+            other = ast.Binary(op=self.rng.choice(["==", "<", ">"]),
+                               left=self.gen_operand(ctx),
+                               right=ast.IntLit(value=self.rng.randint(0, 3)))
+            cond = ast.Binary(op=self.rng.choice(["&&", "||"]),
+                              left=cond, right=other)
+        return cond
+
+    # -- statements -----------------------------------------------------------
+
+    def gen_call(self, ctx: _ProcContext, caller_index: int
+                 ) -> Optional[ast.Expr]:
+        callees = self.proc_names[caller_index + 1:]
+        if not callees:
+            return None
+        callee = self.rng.choice(callees)
+        args = [self.gen_operand(ctx)
+                for _ in range(len(self.proc_params[callee]))]
+        return ast.CallExpr(name=callee, args=args)
+
+    def gen_assign_target(self, ctx: _ProcContext,
+                          body: List[ast.Stmt]) -> str:
+        candidates = [n for n in ctx.scalars if n not in ctx.counters
+                      and n not in ctx.params]
+        if candidates and self.rng.random() < 0.5:
+            return self.rng.choice(candidates)
+        if self.global_names and self.rng.random() < 0.3:
+            return self.rng.choice(self.global_names)
+        name = ctx.fresh_var()
+        ctx.scalars.append(name)
+        body.append(ast.VarDecl(name=name, init=ast.IntLit(value=0)))
+        return name
+
+    def gen_stmt(self, ctx: _ProcContext, body: List[ast.Stmt],
+                 caller_index: int, depth: int) -> None:
+        roll = self.rng.random()
+        if roll < 0.32:
+            target = self.gen_assign_target(ctx, body)
+            body.append(ast.Assign(name=target, value=self.gen_expr(ctx)))
+        elif roll < 0.42 and self.options.use_input:
+            target = self.gen_assign_target(ctx, body)
+            body.append(ast.Assign(name=target, value=ast.InputExpr()))
+        elif roll < 0.55:
+            call = self.gen_call(ctx, caller_index)
+            if call is None:
+                body.append(ast.Print(value=self.gen_operand(ctx)))
+                return
+            assert isinstance(call, ast.CallExpr)
+            if self.rng.random() < 0.7:
+                target = self.gen_assign_target(ctx, body)
+                body.append(ast.Assign(name=target, value=call))
+            else:
+                body.append(ast.CallStmt(call=call))
+        elif roll < 0.72 and depth < self.options.max_depth:
+            then_body: List[ast.Stmt] = []
+            else_body: List[ast.Stmt] = []
+            self.gen_stmts(ctx, then_body, caller_index, depth + 1,
+                           count=self.rng.randint(1, 3))
+            if self.rng.random() < 0.5:
+                self.gen_stmts(ctx, else_body, caller_index, depth + 1,
+                               count=self.rng.randint(1, 2))
+            body.append(ast.If(cond=self.gen_condition(ctx),
+                               then_body=then_body, else_body=else_body))
+        elif roll < 0.82 and depth < self.options.max_depth - 1:
+            self.gen_counted_loop(ctx, body, caller_index, depth)
+        elif roll < 0.9 and self.options.use_heap:
+            self.gen_heap_block(ctx, body)
+        else:
+            body.append(ast.Print(value=self.gen_operand(ctx)))
+
+    def gen_counted_loop(self, ctx: _ProcContext, body: List[ast.Stmt],
+                         caller_index: int, depth: int) -> None:
+        counter = ctx.fresh_var("i")
+        ctx.scalars.append(counter)
+        ctx.counters.append(counter)
+        bound = self.rng.randint(1, self.options.loop_bound)
+        body.append(ast.VarDecl(name=counter, init=ast.IntLit(value=0)))
+        loop_body: List[ast.Stmt] = []
+        self.gen_stmts(ctx, loop_body, caller_index, depth + 1,
+                       count=self.rng.randint(1, 3))
+        loop_body.append(ast.Assign(
+            name=counter,
+            value=ast.Binary(op="+", left=ast.VarRef(name=counter),
+                             right=ast.IntLit(value=1))))
+        body.append(ast.While(
+            cond=ast.Binary(op="<", left=ast.VarRef(name=counter),
+                            right=ast.IntLit(value=bound)),
+            body=loop_body))
+
+    def gen_heap_block(self, ctx: _ProcContext, body: List[ast.Stmt]) -> None:
+        pointer = ctx.fresh_var("ptr")
+        ctx.scalars.append(pointer)
+        size = self.rng.randint(1, 3)
+        body.append(ast.VarDecl(name=pointer,
+                                init=ast.AllocExpr(size=ast.IntLit(value=size))))
+        body.append(ast.StoreStmt(address=ast.VarRef(name=pointer),
+                                  value=self.gen_operand(ctx)))
+        target = ctx.fresh_var()
+        ctx.scalars.append(target)
+        body.append(ast.VarDecl(name=target,
+                                init=ast.LoadExpr(
+                                    address=ast.VarRef(name=pointer))))
+        ctx.pointers.append(pointer)
+
+    def gen_idiom(self, ctx: _ProcContext, body: List[ast.Stmt],
+                  caller_index: int) -> bool:
+        """Insert one correlation idiom; returns False if impossible here."""
+        from repro.benchgen import patterns
+        builders = [patterns.return_value_recheck,
+                    patterns.parameter_revalidation,
+                    patterns.error_flag_check,
+                    patterns.flag_loop,
+                    patterns.recursive_accumulate]
+        builder = self.rng.choice(builders)
+        return builder(self, ctx, body, caller_index)
+
+    def gen_stmts(self, ctx: _ProcContext, body: List[ast.Stmt],
+                  caller_index: int, depth: int, count: int) -> None:
+        for _ in range(count):
+            if (depth <= 1
+                    and self.rng.random() < self.options.idiom_probability
+                    and self.gen_idiom(ctx, body, caller_index)):
+                continue
+            self.gen_stmt(ctx, body, caller_index, depth)
+
+    # -- procedures ---------------------------------------------------------------
+
+    def gen_proc(self, index: int) -> ast.ProcDef:
+        name = self.proc_names[index]
+        params = self.proc_params[name]
+        ctx = _ProcContext(name, params)
+        body: List[ast.Stmt] = []
+        self.gen_stmts(ctx, body, index, depth=0,
+                       count=self.options.statements_per_proc)
+        body.append(ast.Return(value=self.gen_operand(ctx)))
+        return ast.ProcDef(name=name, params=list(params), body=body)
+
+    def gen_main(self) -> ast.ProcDef:
+        ctx = _ProcContext("main", [])
+        body: List[ast.Stmt] = []
+        self.gen_stmts(ctx, body, caller_index=-1, depth=0,
+                       count=self.options.statements_per_proc)
+        body.append(ast.Print(value=self.gen_operand(ctx)))
+        body.append(ast.Return(value=ast.IntLit(value=0)))
+        return ast.ProcDef(name="main", params=[], body=body)
+
+    def generate(self) -> ast.Program:
+        from repro.benchgen import patterns
+
+        program = ast.Program()
+        program.globals.append(ast.GlobalDecl(name=self.flag_global, init=0))
+        for name in self.global_names:
+            program.globals.append(
+                ast.GlobalDecl(name=name, init=self.rng.randint(-2, 4)))
+        library = patterns.build_library(self.rng, count=4,
+                                         flag_global=self.flag_global)
+        self.library_names = [p.name for p in library]
+        for name in self.proc_names:
+            arity = self.rng.randint(0, self.options.max_params)
+            self.proc_params[name] = [f"a{j}" for j in range(arity)]
+        program.procs.extend(library)
+        for index in range(len(self.proc_names)):
+            program.procs.append(self.gen_proc(index))
+        program.procs.append(self.gen_main())
+        return program
+
+
+def generate_program(seed: int,
+                     options: Optional[GeneratorOptions] = None) -> ast.Program:
+    """Generate a deterministic random MiniC program for ``seed``."""
+    opts = options if options is not None else GeneratorOptions()
+    return _Generator(opts, seed).generate()

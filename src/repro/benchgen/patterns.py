@@ -1,0 +1,264 @@
+"""Correlation idiom templates (the phenomena the paper measures).
+
+The paper's introduction attributes interprocedural correlation to the
+modular style procedures are written in: callees validate inputs their
+callers already validated, and callers re-check values their callees
+just classified.  This module builds those idioms:
+
+- **library procedures** with classifying shapes (error-code returns,
+  parameter guards, error flags) used by both the random generator and
+  the fixed benchmark suite;
+- **caller-side emitters** that call a library procedure and re-test
+  its result/arguments, creating the statically-detectable correlation
+  ICBE eliminates.
+
+Each emitter returns True when it could be applied in the current
+context (e.g. some need an existing scalar variable).
+"""
+
+from __future__ import annotations
+
+import random
+from typing import TYPE_CHECKING, List
+
+from repro.lang import ast
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.benchgen.generator import _Generator, _ProcContext
+
+
+# --------------------------------------------------------------------------
+# Library procedure shapes
+# --------------------------------------------------------------------------
+
+
+def getter_with_error_return(name: str, offset: int) -> ast.ProcDef:
+    """``proc name(p) { if (p <= 0) return -1; return (unsigned)(p+k); }``
+
+    The classic classify-and-return shape: the result is either exactly
+    -1 or provably non-negative, so a caller's ``!= -1`` test is fully
+    correlated (the paper's fgetc/EOF example).
+    """
+    body: List[ast.Stmt] = [
+        ast.If(cond=ast.Binary(op="<=", left=ast.VarRef(name="p"),
+                               right=ast.IntLit(value=0)),
+               then_body=[ast.Return(value=ast.IntLit(value=-1))],
+               else_body=[]),
+        ast.Return(value=ast.UnsignedCast(
+            operand=ast.Binary(op="+", left=ast.VarRef(name="p"),
+                               right=ast.IntLit(value=offset)))),
+    ]
+    return ast.ProcDef(name=name, params=["p"], body=body)
+
+
+def guarded_worker(name: str, scale: int) -> ast.ProcDef:
+    """``proc name(p) { if (p == 0) return -2; return p * k; }``
+
+    Parameter validation a caller typically repeats (paper's second
+    motivating idiom); callers that guard the argument make the callee's
+    test fully correlated via entry splitting.
+    """
+    body: List[ast.Stmt] = [
+        ast.If(cond=ast.Binary(op="==", left=ast.VarRef(name="p"),
+                               right=ast.IntLit(value=0)),
+               then_body=[ast.Return(value=ast.IntLit(value=-2))],
+               else_body=[]),
+        ast.Return(value=ast.Binary(op="*", left=ast.VarRef(name="p"),
+                                    right=ast.IntLit(value=scale))),
+    ]
+    return ast.ProcDef(name=name, params=["p"], body=body)
+
+
+def flag_setter(name: str, flag_global: str, threshold: int) -> ast.ProcDef:
+    """``proc name(p) { if (p < t) { err := 1; return 0; }
+    err := 0; return p; }``
+
+    Status communicated through a global error flag with constant
+    assignments — the caller's flag test correlates through the exit.
+    """
+    body: List[ast.Stmt] = [
+        ast.If(cond=ast.Binary(op="<", left=ast.VarRef(name="p"),
+                               right=ast.IntLit(value=threshold)),
+               then_body=[
+                   ast.Assign(name=flag_global, value=ast.IntLit(value=1)),
+                   ast.Return(value=ast.IntLit(value=0)),
+               ],
+               else_body=[]),
+        ast.Assign(name=flag_global, value=ast.IntLit(value=0)),
+        ast.Return(value=ast.VarRef(name="p")),
+    ]
+    return ast.ProcDef(name=name, params=["p"], body=body)
+
+
+def bounded_recursive(name: str, step: int) -> ast.ProcDef:
+    """``proc name(p) { if (p <= 0) return 0; return k + name(p - 1); }``
+
+    Bounded self-recursion: exercises summary computation on a cyclic
+    call graph (queries on the recursive call's result must terminate
+    through the summary dedup).
+    """
+    body: List[ast.Stmt] = [
+        ast.If(cond=ast.Binary(op="<=", left=ast.VarRef(name="p"),
+                               right=ast.IntLit(value=0)),
+               then_body=[ast.Return(value=ast.IntLit(value=0))],
+               else_body=[]),
+        ast.Return(value=ast.Binary(
+            op="+", left=ast.IntLit(value=step),
+            right=ast.CallExpr(name=name,
+                               args=[ast.Binary(op="-",
+                                                left=ast.VarRef(name="p"),
+                                                right=ast.IntLit(value=1))]))),
+    ]
+    return ast.ProcDef(name=name, params=["p"], body=body)
+
+
+LIBRARY_KINDS = ("getter", "guarded", "flag", "recur")
+
+
+def build_library(rng: random.Random, count: int,
+                  flag_global: str) -> List[ast.ProcDef]:
+    """A batch of library procedures cycling through the shapes."""
+    procs: List[ast.ProcDef] = []
+    for index in range(count):
+        kind = LIBRARY_KINDS[index % len(LIBRARY_KINDS)]
+        name = f"lib_{kind}{index}"
+        if kind == "getter":
+            procs.append(getter_with_error_return(name, rng.randint(0, 5)))
+        elif kind == "guarded":
+            procs.append(guarded_worker(name, rng.randint(2, 5)))
+        elif kind == "flag":
+            procs.append(flag_setter(name, flag_global, rng.randint(0, 3)))
+        else:
+            procs.append(bounded_recursive(name, rng.randint(1, 3)))
+    return procs
+
+
+# --------------------------------------------------------------------------
+# Caller-side idiom emitters (used by the random generator)
+# --------------------------------------------------------------------------
+
+
+def _library_of_kind(gen: "_Generator", kind: str) -> str:
+    names = [p for p in gen.library_names if f"_{kind}" in p]
+    return gen.rng.choice(names) if names else ""
+
+
+def return_value_recheck(gen: "_Generator", ctx: "_ProcContext",
+                         body: List[ast.Stmt], caller_index: int) -> bool:
+    """``x = lib_getter(e); if (x == -1) ... else ...`` — the caller
+    re-tests the value the callee just classified."""
+    callee = _library_of_kind(gen, "getter")
+    if not callee:
+        return False
+    result = ctx.fresh_var("r")
+    ctx.scalars.append(result)
+    body.append(ast.VarDecl(name=result,
+                            init=ast.CallExpr(name=callee,
+                                              args=[gen.gen_operand(ctx)])))
+    body.append(ast.If(
+        cond=ast.Binary(op="==", left=ast.VarRef(name=result),
+                        right=ast.IntLit(value=-1)),
+        then_body=[ast.Print(value=ast.IntLit(value=-99))],
+        else_body=[ast.Print(value=ast.VarRef(name=result))]))
+    return True
+
+
+def parameter_revalidation(gen: "_Generator", ctx: "_ProcContext",
+                           body: List[ast.Stmt], caller_index: int) -> bool:
+    """``if (v != 0) { r = lib_guarded(v); print r; }`` — the callee's
+    own ``v == 0`` guard is redundant on this path."""
+    callee = _library_of_kind(gen, "guarded")
+    if not callee:
+        return False
+    scalars = [n for n in ctx.scalars if n not in ctx.counters]
+    if not scalars:
+        return False
+    value = gen.rng.choice(scalars)
+    result = ctx.fresh_var("r")
+    ctx.scalars.append(result)
+    body.append(ast.VarDecl(name=result, init=ast.IntLit(value=0)))
+    body.append(ast.If(
+        cond=ast.Binary(op="!=", left=ast.VarRef(name=value),
+                        right=ast.IntLit(value=0)),
+        then_body=[
+            ast.Assign(name=result,
+                       value=ast.CallExpr(name=callee,
+                                          args=[ast.VarRef(name=value)])),
+            ast.Print(value=ast.VarRef(name=result)),
+        ],
+        else_body=[]))
+    return True
+
+
+def error_flag_check(gen: "_Generator", ctx: "_ProcContext",
+                     body: List[ast.Stmt], caller_index: int) -> bool:
+    """``r = lib_flag(e); if (err == 1) ...`` — flag set by constants in
+    the callee, tested in the caller."""
+    callee = _library_of_kind(gen, "flag")
+    if not callee:
+        return False
+    result = ctx.fresh_var("r")
+    ctx.scalars.append(result)
+    body.append(ast.VarDecl(name=result,
+                            init=ast.CallExpr(name=callee,
+                                              args=[gen.gen_operand(ctx)])))
+    body.append(ast.If(
+        cond=ast.Binary(op="==", left=ast.VarRef(name=gen.flag_global),
+                        right=ast.IntLit(value=1)),
+        then_body=[ast.Print(value=ast.IntLit(value=-1))],
+        else_body=[ast.Print(value=ast.VarRef(name=result))]))
+    return True
+
+
+def recursive_accumulate(gen: "_Generator", ctx: "_ProcContext",
+                         body: List[ast.Stmt], caller_index: int) -> bool:
+    """``r = lib_recur(small); if (r == 0) ...`` — the base case returns
+    a constant, partially correlating the caller's test, and the query
+    must traverse a recursive summary to see it."""
+    callee = _library_of_kind(gen, "recur")
+    if not callee:
+        return False
+    result = ctx.fresh_var("r")
+    ctx.scalars.append(result)
+    depth = ast.IntLit(value=gen.rng.randint(0, 5))
+    body.append(ast.VarDecl(name=result,
+                            init=ast.CallExpr(name=callee, args=[depth])))
+    body.append(ast.If(
+        cond=ast.Binary(op="==", left=ast.VarRef(name=result),
+                        right=ast.IntLit(value=0)),
+        then_body=[ast.Print(value=ast.IntLit(value=0))],
+        else_body=[ast.Print(value=ast.VarRef(name=result))]))
+    return True
+
+
+def flag_loop(gen: "_Generator", ctx: "_ProcContext",
+              body: List[ast.Stmt], caller_index: int) -> bool:
+    """An intraprocedural flag correlation inside a counted loop: the
+    flag is assigned constants and re-tested each iteration (the loop
+    case of Mueller-Whalley that ICBE subsumes)."""
+    flag = ctx.fresh_var("flag")
+    counter = ctx.fresh_var("i")
+    ctx.scalars.extend([flag, counter])
+    ctx.counters.append(counter)
+    bound = gen.rng.randint(2, gen.options.loop_bound + 1)
+    threshold = gen.rng.randint(0, 3)
+    loop_body: List[ast.Stmt] = [
+        ast.If(cond=ast.Binary(op=">", left=gen.gen_operand(ctx),
+                               right=ast.IntLit(value=threshold)),
+               then_body=[ast.Assign(name=flag, value=ast.IntLit(value=1))],
+               else_body=[ast.Assign(name=flag, value=ast.IntLit(value=0))]),
+        ast.If(cond=ast.Binary(op="==", left=ast.VarRef(name=flag),
+                               right=ast.IntLit(value=1)),
+               then_body=[ast.Print(value=ast.VarRef(name=counter))],
+               else_body=[]),
+        ast.Assign(name=counter,
+                   value=ast.Binary(op="+", left=ast.VarRef(name=counter),
+                                    right=ast.IntLit(value=1))),
+    ]
+    body.append(ast.VarDecl(name=flag, init=ast.IntLit(value=0)))
+    body.append(ast.VarDecl(name=counter, init=ast.IntLit(value=0)))
+    body.append(ast.While(
+        cond=ast.Binary(op="<", left=ast.VarRef(name=counter),
+                        right=ast.IntLit(value=bound)),
+        body=loop_body))
+    return True

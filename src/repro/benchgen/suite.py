@@ -1,0 +1,588 @@
+"""The fixed benchmark suite (stand-in for the paper's SPEC95 set).
+
+Six MiniC programs, one per benchmark personality in the paper's
+Table 1.  Each embeds the correlation idioms the paper attributes to
+modular programming — return-value re-checks, repeated parameter
+validation, error-flag propagation, EOF loops — inside a realistic
+control skeleton for its namesake:
+
+- ``go_like``       board-scanning nested loops with guarded helpers
+- ``m88ksim_like``  fetch/decode/execute dispatch loop
+- ``compress_like`` run-length encoder over an input byte stream
+- ``li_like``       cons-cell list building, traversal, and removal
+- ``perl_like``     tokenizer with classifier helpers
+- ``icc_like``      two-pass mini compiler over a heap-allocated IR
+
+Every program terminates on any workload (loops are counted or consume
+the input stream, which yields 0 after exhaustion) and never faults
+(heap pointers are allocated with positive sizes or guarded).
+
+Each entry pairs the source with a deterministic ``ref`` workload used
+for dynamic profiles (the paper's "ref input set").
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+from typing import Dict, List
+
+from repro.interp.workload import Workload
+from repro.lang import ast, parse_program
+from repro.lang.pretty import count_source_lines
+
+
+@dataclass
+class BenchmarkProgram:
+    """One suite entry: name, parsed program, and its ref workload."""
+
+    name: str
+    source: str
+    program: ast.Program
+    workload: Workload
+
+    @property
+    def source_lines(self) -> int:
+        return count_source_lines(self.program)
+
+
+GO_LIKE = """
+// go_like: board evaluation with guarded helpers and flag propagation.
+global err = 0;
+global captures = 0;
+
+proc cell_at(board, idx) {
+    if (board == 0) { return -1; }
+    if (idx < 0) { return -1; }
+    return (unsigned) load(board + idx);
+}
+
+proc liberties(value) {
+    if (value == -1) { err = 1; return 0; }
+    err = 0;
+    if (value == 0) { return 4; }
+    if (value == 1) { return 2; }
+    return 1;
+}
+
+proc score_cell(board, idx) {
+    var v = cell_at(board, idx);
+    if (v == -1) { return 0; }           // correlated with cell_at's guard
+    var libs = liberties(v);
+    if (err == 1) { return 0; }          // correlated with liberties' flag
+    if (libs == 0) { captures = captures + 1; }
+    return libs;
+}
+
+proc classify_move(v) {
+    // Intraprocedural flag idiom: kind is assigned constants and then
+    // re-tested, so the re-tests correlate without crossing calls.
+    var kind = 0;
+    if (v > 1) { kind = 2; } else { kind = 1; }
+    if (kind == 1) { print 1; }
+    if (kind == 2) { print 2; }
+    return kind;
+}
+
+proc main() {
+    var size = 5;
+    var board = alloc(size * size);
+    var i = 0;
+    while (i < size * size) {
+        store(board + i, input());
+        i = i + 1;
+    }
+    var total = 0;
+    var best = 0;
+    var edges = 0;
+    var swings = 0;
+    var prev = 0;
+    var row = 0;
+    while (row < size) {
+        var col = 0;
+        while (col < size) {
+            var s = score_cell(board, row * size + col);
+            if (s > best) { best = s; }      // input-dependent noise
+            if (s < prev) { swings = swings + 1; }      // unanalyzable
+            if (row == col) { edges = edges + 1; }      // unanalyzable
+            if (s * 2 > total) { total = total + 1; }   // unanalyzable
+            total = total + s;
+            prev = s;
+            classify_move(s);
+            col = col + 1;
+        }
+        row = row + 1;
+    }
+    print edges;
+    print swings;
+    print total;
+    print best;
+    print captures;
+    return total;
+}
+"""
+
+M88KSIM_LIKE = """
+// m88ksim_like: fetch-decode-execute loop with operand validation.
+global err = 0;
+global cycles = 0;
+
+proc fetch(mem, pc, limit) {
+    if (pc < 0) { return -1; }
+    if (pc >= limit) { return -1; }
+    return (unsigned) load(mem + pc);
+}
+
+proc check_reg(r) {
+    if (r < 0) { err = 1; return 0; }
+    if (r > 7) { err = 1; return 0; }
+    err = 0;
+    return r;
+}
+
+proc alu(op, a, b) {
+    if (op == 1) { return a + b; }
+    if (op == 2) { return a - b; }
+    if (op == 3) { return a * b; }
+    return 0;
+}
+
+proc execute(regs, op, r1, r2) {
+    var a = check_reg(r1);
+    if (err == 1) { return -1; }          // correlated with check_reg
+    var b = check_reg(r2);
+    if (err == 1) { return -1; }
+    var va = load(regs + a);
+    var vb = load(regs + b);
+    var res = alu(op, va, vb);
+    store(regs + a, res);
+    return res;
+}
+
+proc main() {
+    var limit = 64;
+    var mem = alloc(limit);
+    var regs = alloc(8);
+    var i = 0;
+    while (i < limit) {
+        store(mem + i, input());
+        i = i + 1;
+    }
+    i = 0;
+    while (i < 8) {
+        store(regs + i, i + 1);
+        i = i + 1;
+    }
+    var pc = 0;
+    var running = 1;
+    var halted = 0;
+    var stalls = 0;
+    while (running == 1) {
+        var word = fetch(mem, pc, limit);
+        if (word == -1) {                  // correlated with fetch's guards
+            running = 0;
+            halted = 1;
+        } else {
+            var op = word % 4;
+            var r1 = word % 8;
+            var r2 = (word / 8) % 8;
+            var res = execute(regs, op, r1, r2);
+            if (res == -1) {
+                err = 0;
+            } else {
+                cycles = cycles + 1;
+            }
+            if (res > 100) { print res; }    // input-dependent noise
+            if (r1 == r2) { cycles = cycles + 1; }      // unanalyzable
+            if (res > word) { stalls = stalls + 1; }    // unanalyzable
+            if (op % 2 == 1) { stalls = stalls + 1; }   // unanalyzable
+            pc = pc + 1;
+        }
+        // Intraprocedural: running was just assigned constants above.
+        if (running == 0) { print pc; }
+    }
+    if (halted == 1) { print -1; }         // intra flag correlation
+    print stalls;
+    print cycles;
+    print load(regs);
+    return cycles;
+}
+"""
+
+COMPRESS_LIKE = """
+// compress_like: run-length encoding over the input stream (EOF loop).
+global err = 0;
+global emitted = 0;
+
+proc next_byte() {
+    var c = input();
+    if (c <= 0) { return -1; }             // EOF / invalid
+    return (unsigned) c;
+}
+
+proc emit(code, count) {
+    if (count <= 0) { err = 1; return 0; }
+    err = 0;
+    print code;
+    print count;
+    emitted = emitted + 2;
+    return count;
+}
+
+proc main() {
+    var current = next_byte();
+    var total = 0;
+    var long_runs = 0;
+    var maxrun = 0;
+    var evens = 0;
+    while (current != -1) {                // correlated with next_byte
+        var run = 1;
+        var nxt = next_byte();
+        while (nxt != -1 && nxt == current) {
+            run = run + 1;
+            nxt = next_byte();
+        }
+        var n = emit(current, run);
+        if (err == 0) {                    // correlated with emit's flag
+            total = total + n;
+        }
+        // Intraprocedural flag idiom on run length.
+        var big = 0;
+        if (run > 2) { big = 1; }
+        if (big == 1) { long_runs = long_runs + 1; }
+        // Input-dependent / unanalyzable noise.
+        if (run > maxrun) { maxrun = run; }
+        if (current % 2 == 0) { evens = evens + 1; }
+        current = nxt;
+    }
+    print maxrun;
+    print evens;
+    print total;
+    print long_runs;
+    print emitted;
+    return total;
+}
+"""
+
+LI_LIKE = """
+// li_like: cons cells, list building, lookup, removal (paper's intro idiom).
+global err = 0;
+global allocs = 0;
+
+proc cons(value, tail) {
+    var cell = alloc(2);
+    store(cell, value);
+    store(cell + 1, tail);
+    // Defensive re-check after the stores: the dereference already
+    // proved cell != 0 (paper correlation source #4).
+    if (cell != 0) { allocs = allocs + 1; }
+    return cell;
+}
+
+proc head(cell) {
+    if (cell == 0) { err = 1; return 0; }  // empty-list guard
+    err = 0;
+    return load(cell);
+}
+
+proc tail(cell) {
+    if (cell == 0) { err = 1; return 0; }
+    err = 0;
+    return load(cell + 1);
+}
+
+proc list_sum(list) {
+    var total = 0;
+    var biggest = 0;
+    var node = list;
+    while (node != 0) {
+        var h = head(node);
+        if (err == 1) { return total; }    // correlated: node != 0 held
+        total = total + h;
+        if (h > biggest) { biggest = h; }  // unanalyzable noise
+        if (total > 9000) { total = 0; }   // input-dependent noise
+        node = tail(node);
+    }
+    return total;
+}
+
+proc remove_first(list, value) {
+    if (list == 0) { return 0; }
+    var h = head(list);
+    if (h == value) {
+        return tail(list);                  // correlated: list != 0 held
+    }
+    var rest = remove_first(tail(list), value);
+    return cons(h, rest);
+}
+
+proc main() {
+    var list = 0;
+    var n = input();
+    if (n <= 0) { n = 0; }
+    if (n > 40) { n = 40; }
+    var i = 0;
+    while (i < n) {
+        list = cons((unsigned) input(), list);
+        i = i + 1;
+    }
+    print list_sum(list);
+    var target = input();
+    list = remove_first(list, (unsigned) target);
+    print list_sum(list);
+    if (list != 0) {                        // correlated with remove_first
+        print head(list);
+    } else {
+        print -1;
+    }
+    // Intraprocedural: empty was just assigned constants.
+    var empty = 0;
+    if (list == 0) { empty = 1; }
+    if (empty == 1) { print 0; } else { print 1; }
+    if (target > 20) { print target; }      // input-dependent noise
+    print allocs;
+    return 0;
+}
+"""
+
+PERL_LIKE = """
+// perl_like: tokenizer with classifier helpers re-checked by the caller.
+global err = 0;
+global tokens = 0;
+
+proc classify(c) {
+    if (c < 0) { return -1; }              // EOF class
+    if (c >= 48 && c <= 57) { return 1; }  // digit
+    if (c >= 97 && c <= 122) { return 2; } // letter
+    if (c == 32) { return 3; }             // space
+    return 4;                              // punct
+}
+
+proc read_char() {
+    var c = input();
+    if (c <= 0) { return -1; }
+    return (unsigned) c;
+}
+
+proc digit_value(c) {
+    if (c < 48) { err = 1; return 0; }
+    if (c > 57) { err = 1; return 0; }
+    err = 0;
+    return c - 48;
+}
+
+proc main() {
+    var numbers = 0;
+    var words = 0;
+    var value = 0;
+    var caps = 0;
+    var longest = 0;
+    var prev = 0;
+    var c = read_char();
+    while (c != -1) {                       // correlated with read_char
+        var kind = classify(c);
+        if (kind == -1) {                   // correlated with classify
+            c = -1;
+        } else {
+            if (kind == 1) {
+                var d = digit_value(c);
+                if (err == 0) {             // correlated with digit_value
+                    value = value * 10 + d;
+                }
+                numbers = numbers + 1;
+            }
+            if (kind == 2) {
+                words = words + 1;
+            }
+            // Input-dependent noise the analysis cannot resolve.
+            if (c > 64) { caps = caps + 1; }
+            if (c > prev) { longest = longest + 1; }   // not analyzable
+            if (value > 100000) { value = 0; }
+            prev = c;
+            tokens = tokens + 1;
+            c = read_char();
+        }
+    }
+    print numbers;
+    print words;
+    print value;
+    print caps;
+    print longest;
+    print tokens;
+    return tokens;
+}
+"""
+
+ICC_LIKE = """
+// icc_like: two-pass mini compiler over a heap IR with error chains.
+global err = 0;
+global folded = 0;
+
+proc read_op() {
+    var o = input();
+    if (o <= 0) { return -1; }
+    return (unsigned) o % 5;
+}
+
+proc valid_slot(ir, idx, len) {
+    if (ir == 0) { return -1; }
+    if (idx < 0) { return -1; }
+    if (idx >= len) { return -1; }
+    return idx;
+}
+
+proc get_ir(ir, idx, len) {
+    var s = valid_slot(ir, idx, len);
+    if (s == -1) { err = 1; return 0; }     // correlated with valid_slot
+    err = 0;
+    return load(ir + s);
+}
+
+proc fold(a, b) {
+    if (a == 0) { return b; }
+    if (b == 0) { return a; }
+    folded = folded + 1;
+    return a + b;
+}
+
+proc main() {
+    var len = 32;
+    var ir = alloc(len);
+    var count = 0;
+    var op = read_op();
+    while (op != -1 && count < len) {       // correlated with read_op
+        store(ir + count, op);
+        count = count + 1;
+        op = read_op();
+    }
+    // pass 1: constant folding of adjacent slots
+    var i = 0;
+    var acc = 0;
+    var peaks = 0;
+    var prev = 0;
+    while (i < count) {
+        var v = get_ir(ir, i, len);
+        if (err == 0) {                     // correlated with get_ir
+            acc = fold(acc, v);
+        }
+        if (v > prev) { peaks = peaks + 1; }        // unanalyzable
+        if (v * v > acc) { acc = acc + 1; }         // unanalyzable
+        prev = v;
+        i = i + 1;
+    }
+    print peaks;
+    // pass 2: emit, with an intraprocedural state-flag idiom
+    i = 0;
+    var out = 0;
+    var state = 0;
+    while (i < count) {
+        var w = get_ir(ir, i, len);
+        if (err == 0) {
+            if (w != 0) { out = out + 1; state = 1; } else { state = 2; }
+        }
+        if (state == 1) { print w; }       // intra: state just assigned
+        if (state == 2) { print 0; }
+        i = i + 1;
+    }
+    print acc;
+    print out;
+    print folded;
+    return acc;
+}
+"""
+
+
+def _ref_workload(name: str, length: int, low: int, high: int,
+                  seed: int) -> Workload:
+    rng = random.Random(seed)
+    return Workload([rng.randint(low, high) for _ in range(length)],
+                    name=f"{name}-ref")
+
+
+_SOURCES = {
+    "go_like": GO_LIKE,
+    "m88ksim_like": M88KSIM_LIKE,
+    "compress_like": COMPRESS_LIKE,
+    "li_like": LI_LIKE,
+    "perl_like": PERL_LIKE,
+    "icc_like": ICC_LIKE,
+}
+
+_WORKLOADS = {
+    # name: (length, low, high, seed)
+    "go_like": (25, -1, 2, 11),
+    "m88ksim_like": (64, 1, 200, 12),
+    "compress_like": (400, 1, 4, 13),
+    "li_like": (80, 1, 40, 14),
+    "perl_like": (500, 0, 126, 15),
+    "icc_like": (40, 0, 9, 16),
+}
+
+
+def benchmark_names() -> List[str]:
+    """The suite's benchmark names, in canonical order."""
+    return list(_SOURCES)
+
+
+def _merge_filler(program: ast.Program, name: str, scale: int) -> None:
+    """Graft deterministic generated modules onto a core program.
+
+    The paper's benchmarks are thousands of lines; the handwritten cores
+    are idiom-dense miniatures.  The ``scale`` tier appends generated
+    procedure modules (same idiom mix plus noise) and a new ``main``
+    that runs the core first and the filler after, so Table 1/2 can be
+    regenerated at a SPEC-like program size.
+    """
+    from repro.benchgen.generator import GeneratorOptions, generate_program
+
+    core_main = program.proc("main")
+    core_main.name = f"{name}_core"
+
+    filler_seed = sum(ord(c) for c in name)
+    filler = generate_program(filler_seed, GeneratorOptions(
+        procedures=4 * scale, statements_per_proc=10, max_depth=3))
+
+    existing_globals = {g.name for g in program.globals}
+    for decl in filler.globals:
+        if decl.name not in existing_globals:
+            program.globals.append(decl)
+            existing_globals.add(decl.name)
+
+    for proc in filler.procs:
+        if proc.name == "main":
+            proc.name = "filler_main"
+        program.procs.append(proc)
+
+    program.procs.append(ast.ProcDef(name="main", params=[], body=[
+        ast.VarDecl(name="core_result",
+                    init=ast.CallExpr(name=f"{name}_core", args=[])),
+        ast.VarDecl(name="filler_result",
+                    init=ast.CallExpr(name="filler_main", args=[])),
+        ast.Return(value=ast.Binary(op="+",
+                                    left=ast.VarRef(name="core_result"),
+                                    right=ast.VarRef(name="filler_result"))),
+    ]))
+
+
+def load_benchmark(name: str, scale: int = 1) -> BenchmarkProgram:
+    """Parse one suite benchmark and build its ref workload.
+
+    ``scale > 1`` grafts generated filler modules onto the core (see
+    :func:`_merge_filler`); the workload gets a matching random tail.
+    """
+    source = _SOURCES[name]
+    length, low, high, seed = _WORKLOADS[name]
+    program = parse_program(source)
+    workload = _ref_workload(name, length, low, high, seed)
+    if scale > 1:
+        _merge_filler(program, name, scale)
+        tail = Workload.random(60 * scale, low=-8, high=8, seed=seed + 1000)
+        workload = Workload(workload.values + tail.values,
+                            name=f"{name}-ref-x{scale}")
+    return BenchmarkProgram(name=name, source=source, program=program,
+                            workload=workload)
+
+
+def benchmark_suite(scale: int = 1) -> Dict[str, BenchmarkProgram]:
+    """The whole suite, freshly parsed (entries are independent)."""
+    return {name: load_benchmark(name, scale) for name in _SOURCES}

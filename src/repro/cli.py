@@ -1,0 +1,219 @@
+"""The ``icbe`` command line tool.
+
+Subcommands::
+
+    icbe run <file.mc> [--input N ...]        execute a MiniC program
+    icbe dump <file.mc> [--dot]               print the ICFG
+    icbe analyze <file.mc> [--intra]          correlation per conditional
+    icbe optimize <file.mc> [options]         run ICBE and report
+    icbe predict <file.mc> [--intra]          static prediction hints
+    icbe inline <file.mc> [options]           exhaustive pre-pass inlining
+    icbe experiment <name>                    run a paper experiment
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import List, Optional
+
+from repro.analysis import AnalysisConfig, analyze_branch
+from repro.analysis.cost import duplication_upper_bound
+from repro.interp import Workload, run_icfg
+from repro.ir import dump_icfg, lower_program, verify_icfg
+from repro.ir.printer import to_dot
+from repro.lang import parse_program
+from repro.transform import ICBEOptimizer, OptimizerOptions
+
+
+def _load(path: str):
+    with open(path, "r", encoding="utf-8") as handle:
+        source = handle.read()
+    icfg = lower_program(parse_program(source))
+    verify_icfg(icfg)
+    return icfg
+
+
+def _config(args: argparse.Namespace) -> AnalysisConfig:
+    return AnalysisConfig(interprocedural=not args.intra,
+                          budget=args.budget)
+
+
+def cmd_run(args: argparse.Namespace) -> int:
+    """``icbe run``: execute a program over a workload."""
+    icfg = _load(args.file)
+    result = run_icfg(icfg, Workload(args.input))
+    for value in result.output:
+        print(value)
+    print(f"-- status: {result.status}  exit: {result.exit_value}  "
+          f"conditionals executed: {result.profile.executed_conditionals}  "
+          f"operations: {result.profile.executed_operations}",
+          file=sys.stderr)
+    return 0 if result.status == "ok" else 1
+
+
+def cmd_dump(args: argparse.Namespace) -> int:
+    """``icbe dump``: print the ICFG as text or DOT."""
+    icfg = _load(args.file)
+    print(to_dot(icfg) if args.dot else dump_icfg(icfg))
+    return 0
+
+
+def cmd_analyze(args: argparse.Namespace) -> int:
+    """``icbe analyze``: correlation results per conditional."""
+    icfg = _load(args.file)
+    config = _config(args)
+    results = {branch.id: analyze_branch(icfg, branch.id, config)
+               for branch in icfg.branch_nodes()}
+    if args.dot:
+        from repro.ir.printer import correlation_fills
+        print(to_dot(icfg, fills=correlation_fills(icfg, results)))
+        return 0
+    for branch in icfg.branch_nodes():
+        result = results[branch.id]
+        line = result.describe()
+        if result.has_correlation:
+            line += f"  [duplication bound {duplication_upper_bound(result)}]"
+        print(f"{branch.label():40s} {line}")
+    return 0
+
+
+def cmd_optimize(args: argparse.Namespace) -> int:
+    """``icbe optimize``: run ICBE and report the effect."""
+    icfg = _load(args.file)
+    optimizer = ICBEOptimizer(OptimizerOptions(
+        config=_config(args), duplication_limit=args.limit))
+    report = optimizer.optimize(icfg)
+    print(f"conditionals optimized: {report.optimized_count} / "
+          f"{report.conditionals_before}")
+    print(f"nodes: {report.nodes_before} -> {report.nodes_after} "
+          f"({report.growth_percent:+.1f}%)")
+    if args.input is not None:
+        workload = Workload(args.input)
+        before = run_icfg(icfg, workload)
+        after = run_icfg(report.optimized, workload)
+        match = "identical" if after.observable == before.observable \
+            else "DIFFERENT (bug!)"
+        print(f"executed conditionals: "
+              f"{before.profile.executed_conditionals} -> "
+              f"{after.profile.executed_conditionals}  (output {match})")
+    if args.emit:
+        print(dump_icfg(report.optimized))
+    return 0
+
+
+def cmd_predict(args: argparse.Namespace) -> int:
+    """``icbe predict``: static prediction with correlation hints."""
+    from repro.analysis.prediction import predict_all
+    icfg = _load(args.file)
+    predictions = predict_all(icfg, _config(args))
+    for branch in icfg.branch_nodes():
+        prediction = predictions[branch.id]
+        direction = "taken" if prediction.taken else "not-taken"
+        confidence = "certain" if prediction.certain else prediction.source
+        print(f"{branch.label():40s} predict {direction:9s} [{confidence}]")
+    return 0
+
+
+def cmd_inline(args: argparse.Namespace) -> int:
+    """``icbe inline``: exhaustive pre-pass inlining."""
+    from repro.transform.inline import inline_exhaustively
+    icfg = _load(args.file)
+    nodes_before = icfg.node_count()
+    working = icfg.clone()
+    inlined = inline_exhaustively(working, node_budget=args.node_budget)
+    verify_icfg(working)
+    print(f"inlined {inlined} call sites; nodes {nodes_before} -> "
+          f"{working.node_count()}")
+    if args.input is not None:
+        workload = Workload(args.input)
+        before = run_icfg(icfg, workload)
+        after = run_icfg(working, workload)
+        match = "identical" if after.observable == before.observable \
+            else "DIFFERENT (bug!)"
+        print(f"output {match}")
+    if args.emit:
+        print(dump_icfg(working))
+    return 0
+
+
+def cmd_experiment(args: argparse.Namespace) -> int:
+    """``icbe experiment``: run one paper experiment."""
+    from repro.harness.__main__ import main as harness_main
+    return harness_main([args.name])
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """The argparse command tree."""
+    parser = argparse.ArgumentParser(
+        prog="icbe",
+        description="Interprocedural Conditional Branch Elimination "
+                    "(PLDI 1997 reproduction)")
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    def common(p: argparse.ArgumentParser) -> None:
+        p.add_argument("file", help="MiniC source file")
+        p.add_argument("--intra", action="store_true",
+                       help="intraprocedural baseline analysis")
+        p.add_argument("--budget", type=int, default=1000,
+                       help="node-query-pair analysis budget")
+
+    run_p = sub.add_parser("run", help="execute a program")
+    run_p.add_argument("file")
+    run_p.add_argument("--input", type=int, nargs="*", default=[],
+                       help="workload values for input()")
+    run_p.set_defaults(func=cmd_run)
+
+    dump_p = sub.add_parser("dump", help="print the ICFG")
+    dump_p.add_argument("file")
+    dump_p.add_argument("--dot", action="store_true",
+                        help="Graphviz output")
+    dump_p.set_defaults(func=cmd_dump)
+
+    analyze_p = sub.add_parser("analyze", help="correlation per conditional")
+    common(analyze_p)
+    analyze_p.add_argument("--dot", action="store_true",
+                           help="Graphviz output with correlation overlay")
+    analyze_p.set_defaults(func=cmd_analyze)
+
+    optimize_p = sub.add_parser("optimize", help="run the ICBE optimizer")
+    common(optimize_p)
+    optimize_p.add_argument("--limit", type=int, default=None,
+                            help="per-conditional duplication limit")
+    optimize_p.add_argument("--input", type=int, nargs="*", default=None,
+                            help="workload to measure dynamic reduction")
+    optimize_p.add_argument("--emit", action="store_true",
+                            help="dump the optimized ICFG")
+    optimize_p.set_defaults(func=cmd_optimize)
+
+    predict_p = sub.add_parser(
+        "predict", help="correlation-assisted static branch prediction")
+    common(predict_p)
+    predict_p.set_defaults(func=cmd_predict)
+
+    inline_p = sub.add_parser(
+        "inline", help="exhaustively inline non-recursive call sites")
+    inline_p.add_argument("file")
+    inline_p.add_argument("--node-budget", type=int, default=100_000,
+                          help="stop when the graph exceeds this many nodes")
+    inline_p.add_argument("--input", type=int, nargs="*", default=None,
+                          help="workload to verify behaviour is unchanged")
+    inline_p.add_argument("--emit", action="store_true",
+                          help="dump the inlined ICFG")
+    inline_p.set_defaults(func=cmd_inline)
+
+    exp_p = sub.add_parser("experiment", help="run a paper experiment")
+    exp_p.add_argument("name",
+                       help="table1|table2|fig9|fig10|fig11|headline|all")
+    exp_p.set_defaults(func=cmd_experiment)
+    return parser
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    """Entry point for the ``icbe`` executable."""
+    args = build_parser().parse_args(argv)
+    return args.func(args)
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

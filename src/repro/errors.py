@@ -1,0 +1,58 @@
+"""Exception hierarchy for the ICBE reproduction.
+
+Every layer of the system raises a subclass of :class:`ReproError`, so
+callers can catch a single exception type at the API boundary while tests
+can assert on precise failure categories.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by this package."""
+
+
+class LexError(ReproError):
+    """A malformed token was encountered while scanning MiniC source."""
+
+    def __init__(self, message: str, line: int, column: int) -> None:
+        super().__init__(f"{line}:{column}: {message}")
+        self.line = line
+        self.column = column
+
+
+class ParseError(ReproError):
+    """The token stream does not form a valid MiniC program."""
+
+    def __init__(self, message: str, line: int, column: int) -> None:
+        super().__init__(f"{line}:{column}: {message}")
+        self.line = line
+        self.column = column
+
+
+class SemanticError(ReproError):
+    """The program parsed but violates a static rule (scope, arity...)."""
+
+
+class LoweringError(ReproError):
+    """The AST could not be translated to the interprocedural CFG."""
+
+
+class VerificationError(ReproError):
+    """An ICFG failed a structural well-formedness check."""
+
+
+class InterpreterError(ReproError):
+    """A runtime fault during ICFG interpretation (e.g. null deref)."""
+
+
+class StepLimitExceeded(InterpreterError):
+    """The interpreter exceeded its step budget (probable infinite loop)."""
+
+
+class AnalysisError(ReproError):
+    """Internal inconsistency in the correlation analysis."""
+
+
+class TransformError(ReproError):
+    """The restructuring transformation could not be applied safely."""

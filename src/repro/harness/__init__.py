@@ -1,0 +1,22 @@
+"""Experiment harness: regenerate every table and figure of the paper.
+
+Each experiment module produces plain data structures plus an ASCII
+rendering; ``python -m repro.harness <experiment>`` prints one, and the
+benchmarks under ``benchmarks/`` time and record them.  The mapping to
+the paper:
+
+- :mod:`repro.harness.table1` — benchmark characteristics
+- :mod:`repro.harness.table2` — analysis cost
+- :mod:`repro.harness.fig9`   — conditionals with (full) correlation,
+  static and dynamically weighted, intra vs inter
+- :mod:`repro.harness.fig10`  — per-conditional duplication-vs-benefit
+  scatter, intra vs inter
+- :mod:`repro.harness.fig11`  — eliminated executed conditionals vs code
+  growth across per-conditional duplication limits
+- :mod:`repro.harness.headline` — the 2.5× and 3-18% headline claims
+"""
+
+from repro.harness.metrics import (BenchmarkContext, branch_population,
+                                   prepare_benchmark)
+
+__all__ = ["BenchmarkContext", "branch_population", "prepare_benchmark"]

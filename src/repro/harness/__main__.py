@@ -1,0 +1,43 @@
+"""Command line front end: ``python -m repro.harness <experiment>``."""
+
+from __future__ import annotations
+
+import sys
+
+from repro.harness import fig9, fig10, fig11, headline, table1, table2
+
+EXPERIMENTS = {
+    "table1": table1.main,
+    "table2": table2.main,
+    "fig9": fig9.main,
+    "fig10": fig10.main,
+    "fig11": fig11.main,
+    "headline": headline.main,
+}
+
+
+def main(argv=None) -> int:
+    """Dispatch ``python -m repro.harness <experiment>``."""
+    args = sys.argv[1:] if argv is None else argv
+    if not args or args[0] in ("-h", "--help"):
+        names = ", ".join(EXPERIMENTS)
+        print(f"usage: python -m repro.harness <{names}|all>")
+        return 0 if args else 2
+    name = args[0]
+    if name == "all":
+        for key, runner in EXPERIMENTS.items():
+            print(f"=== {key} ===")
+            runner()
+            print()
+        return 0
+    runner = EXPERIMENTS.get(name)
+    if runner is None:
+        print(f"unknown experiment {name!r}; "
+              f"choose from {', '.join(EXPERIMENTS)} or 'all'")
+        return 2
+    runner()
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

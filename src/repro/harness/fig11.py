@@ -1,0 +1,121 @@
+"""Figure 11: eliminated executed conditionals vs program code growth.
+
+The paper's central experiment: optimize each benchmark with the
+per-conditional duplication limit N swept over {5, 10, 20, 50, 100,
+200}, analysis budget 1000, in both analysis scopes.  Each point
+reports the percentage reduction in *executed* conditional branches
+(measured by re-running the ref workload on the optimized program) and
+the program code growth (executable nodes).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional
+
+from repro.analysis import AnalysisConfig
+from repro.harness.metrics import BenchmarkContext, percent, prepare_benchmark
+from repro.benchgen.suite import benchmark_names
+from repro.interp import run_icfg
+from repro.transform import ICBEOptimizer, OptimizerOptions
+from repro.utils.tables import render_table
+
+#: The paper's sweep of the per-conditional duplication limit.
+DUPLICATION_LIMITS = (5, 10, 20, 50, 100, 200)
+
+#: The paper's analysis termination budget for this experiment.
+FIG11_BUDGET = 1000
+
+
+@dataclass
+class Fig11Point:
+    benchmark: str
+    interprocedural: bool
+    duplication_limit: int
+    optimized_branches: int
+    executed_before: int
+    executed_after: int
+    nodes_before: int
+    nodes_after: int
+
+    @property
+    def reduction_pct(self) -> float:
+        return percent(self.executed_before - self.executed_after,
+                       self.executed_before)
+
+    @property
+    def growth_pct(self) -> float:
+        return percent(self.nodes_after - self.nodes_before,
+                       self.nodes_before)
+
+
+def sweep_benchmark(context: BenchmarkContext, interprocedural: bool,
+                    limits: tuple = DUPLICATION_LIMITS,
+                    budget: int = FIG11_BUDGET) -> List[Fig11Point]:
+    """One benchmark's points across the duplication-limit sweep."""
+    points: List[Fig11Point] = []
+    baseline_executed = context.profile.executed_conditionals
+    nodes_before = context.icfg.executable_node_count()
+    for limit in limits:
+        config = AnalysisConfig(interprocedural=interprocedural,
+                                budget=budget)
+        optimizer = ICBEOptimizer(OptimizerOptions(
+            config=config, duplication_limit=limit))
+        report = optimizer.optimize(context.icfg)
+        rerun = run_icfg(report.optimized, context.bench.workload)
+        if rerun.observable != context.execution.observable:
+            raise RuntimeError(
+                f"{context.name}: optimization changed semantics at "
+                f"limit {limit} (interprocedural={interprocedural})")
+        points.append(Fig11Point(
+            benchmark=context.name,
+            interprocedural=interprocedural,
+            duplication_limit=limit,
+            optimized_branches=report.optimized_count,
+            executed_before=baseline_executed,
+            executed_after=rerun.profile.executed_conditionals,
+            nodes_before=nodes_before,
+            nodes_after=report.optimized.executable_node_count()))
+    return points
+
+
+def compute_fig11(names: Optional[List[str]] = None,
+                  limits: tuple = DUPLICATION_LIMITS,
+                  budget: int = FIG11_BUDGET) -> List[Fig11Point]:
+    """The full sweep: every benchmark, both scopes."""
+    points: List[Fig11Point] = []
+    for name in (names if names is not None else benchmark_names()):
+        context = prepare_benchmark(name)
+        points.extend(sweep_benchmark(context, True, limits, budget))
+        points.extend(sweep_benchmark(context, False, limits, budget))
+    return points
+
+
+def render_fig11(points: List[Fig11Point]) -> str:
+    """ASCII rendering, one table per benchmark."""
+    parts = []
+    benchmarks = sorted({p.benchmark for p in points})
+    for name in benchmarks:
+        rows = []
+        for point in points:
+            if point.benchmark != name:
+                continue
+            rows.append([("inter" if point.interprocedural else "intra"),
+                         point.duplication_limit,
+                         point.optimized_branches,
+                         point.reduction_pct,
+                         point.growth_pct])
+        parts.append(render_table(
+            ["scope", "dup limit N", "branches optimized",
+             "executed-cond reduction %", "code growth %"],
+            rows, title=f"Fig 11: {name}"))
+    return "\n\n".join(parts)
+
+
+def main() -> None:
+    """Print Figure 11 for the whole suite."""
+    print(render_fig11(compute_fig11()))
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,129 @@
+"""Figure 9: characteristics of statically detectable branch correlation.
+
+Four panels in the paper, all reproduced from the same classification:
+
+- top-left:  % of conditionals that are analyzable / intraprocedurally
+  correlated / interprocedurally correlated (static count);
+- top-right: the same weighted by execution count (dynamic);
+- bottom-left / bottom-right: the same two views for *full* correlation
+  (outcome known along all incoming paths).
+
+The paper computes these with an infinite analysis termination limit;
+we use a budget large enough to be exhaustive on the suite.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional
+
+from repro.analysis import AnalysisConfig
+from repro.analysis.config import UNLIMITED_BUDGET
+from repro.benchgen.suite import benchmark_names
+from repro.harness.metrics import (branch_population, percent,
+                                   prepare_benchmark)
+from repro.utils.tables import render_table
+
+#: "Effectively exhaustive" budget for the suite (the paper's infinite
+#: termination limit; every suite analysis drains its worklist well
+#: below this).
+EXHAUSTIVE_BUDGET = 200_000
+
+
+@dataclass
+class Fig9Row:
+    """One benchmark's bars across all four panels."""
+
+    name: str
+    analyzable_pct: float
+    # some correlation
+    intra_pct: float
+    inter_pct: float
+    intra_dyn_pct: float
+    inter_dyn_pct: float
+    # full correlation
+    intra_full_pct: float
+    inter_full_pct: float
+    intra_full_dyn_pct: float
+    inter_full_dyn_pct: float
+
+
+def compute_fig9(names: Optional[List[str]] = None,
+                 budget: int = EXHAUSTIVE_BUDGET) -> List[Fig9Row]:
+    """All four panels' bars for the given benchmarks."""
+    rows: List[Fig9Row] = []
+    for name in (names if names is not None else benchmark_names()):
+        context = prepare_benchmark(name)
+        inter = branch_population(
+            context, AnalysisConfig(interprocedural=True, budget=budget))
+        intra = branch_population(
+            context, AnalysisConfig(interprocedural=False, budget=budget))
+        total = len(inter)
+        total_exec = sum(i.executions for i in inter)
+
+        def static_pct(infos, key) -> float:
+            return percent(sum(1 for i in infos if key(i)), total)
+
+        def dyn_pct(infos, key) -> float:
+            return percent(sum(i.executions for i in infos if key(i)),
+                           total_exec)
+
+        rows.append(Fig9Row(
+            name=name,
+            analyzable_pct=static_pct(inter, lambda i: i.analyzable),
+            intra_pct=static_pct(intra, lambda i: i.correlated),
+            inter_pct=static_pct(inter, lambda i: i.correlated),
+            intra_dyn_pct=dyn_pct(intra, lambda i: i.correlated),
+            inter_dyn_pct=dyn_pct(inter, lambda i: i.correlated),
+            intra_full_pct=static_pct(intra, lambda i: i.fully_correlated),
+            inter_full_pct=static_pct(inter, lambda i: i.fully_correlated),
+            intra_full_dyn_pct=dyn_pct(intra,
+                                       lambda i: i.fully_correlated),
+            inter_full_dyn_pct=dyn_pct(inter,
+                                       lambda i: i.fully_correlated)))
+    return rows
+
+
+def render_fig9(rows: List[Fig9Row]) -> str:
+    """ASCII rendering of the four panels."""
+    parts = []
+    headers = ["benchmark", "analyzable %", "intra %", "inter %"]
+    parts.append(render_table(
+        headers,
+        [[r.name, r.analyzable_pct, r.intra_pct, r.inter_pct] for r in rows],
+        title="Fig 9 (top-left): conditionals with correlation, static"))
+    parts.append(render_table(
+        ["benchmark", "intra %", "inter %"],
+        [[r.name, r.intra_dyn_pct, r.inter_dyn_pct] for r in rows],
+        title="Fig 9 (top-right): conditionals with correlation, dynamic"))
+    parts.append(render_table(
+        ["benchmark", "intra %", "inter %"],
+        [[r.name, r.intra_full_pct, r.inter_full_pct] for r in rows],
+        title="Fig 9 (bottom-left): full correlation, static"))
+    parts.append(render_table(
+        ["benchmark", "intra %", "inter %"],
+        [[r.name, r.intra_full_dyn_pct, r.inter_full_dyn_pct] for r in rows],
+        title="Fig 9 (bottom-right): full correlation, dynamic"))
+    return "\n\n".join(parts)
+
+
+def summary_ratios(rows: List[Fig9Row]) -> Dict[str, float]:
+    """Suite-average inter/intra detection ratios (paper: 'at least 2x')."""
+    inter = sum(r.inter_pct for r in rows)
+    intra = sum(r.intra_pct for r in rows)
+    inter_dyn = sum(r.inter_full_dyn_pct for r in rows)
+    intra_dyn = sum(r.intra_full_dyn_pct for r in rows)
+    return {
+        "static_ratio": inter / intra if intra else float("inf"),
+        "full_dynamic_ratio": (inter_dyn / intra_dyn if intra_dyn
+                               else float("inf")),
+    }
+
+
+def main() -> None:
+    """Print Figure 9 for the whole suite."""
+    print(render_fig9(compute_fig9()))
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,121 @@
+"""Shared measurement plumbing for the experiment harness.
+
+A :class:`BenchmarkContext` bundles one suite program with its lowered
+ICFG and the dynamic profile of its ref workload — the ingredients every
+experiment consumes.  ``branch_population`` classifies each conditional
+the way the paper's Figure 9 does: analyzable?, correlated?, fully
+correlated?, under both analysis scopes.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional
+
+from repro.analysis import AnalysisConfig, analyze_branch
+from repro.analysis.cost import (duplication_upper_bound,
+                                 eliminated_executions_estimate)
+from repro.analysis.result import CorrelationResult
+from repro.benchgen.suite import BenchmarkProgram, load_benchmark
+from repro.interp import ExecutionResult, run_icfg
+from repro.interp.profile import Profile
+from repro.ir import ICFG, lower_program, verify_icfg
+
+
+@dataclass
+class BenchmarkContext:
+    """One benchmark, lowered and profiled on its ref workload."""
+
+    bench: BenchmarkProgram
+    icfg: ICFG
+    execution: ExecutionResult
+
+    @property
+    def name(self) -> str:
+        return self.bench.name
+
+    @property
+    def profile(self) -> Profile:
+        return self.execution.profile
+
+
+def prepare_benchmark(name: str) -> BenchmarkContext:
+    """Load, lower, verify, and profile one suite benchmark."""
+    bench = load_benchmark(name)
+    icfg = lower_program(bench.program)
+    verify_icfg(icfg)
+    execution = run_icfg(icfg, bench.workload)
+    if execution.status != "ok":
+        raise RuntimeError(
+            f"benchmark {name!r} did not run cleanly: {execution.status} "
+            f"{execution.fault_message}")
+    return BenchmarkContext(bench=bench, icfg=icfg, execution=execution)
+
+
+@dataclass
+class BranchInfo:
+    """One conditional's classification under one analysis scope."""
+
+    branch_id: int
+    executions: int
+    analyzable: bool
+    correlated: bool
+    fully_correlated: bool
+    duplication_bound: int
+    benefit_estimate: int
+    pairs_examined: int
+    result: Optional[CorrelationResult] = None
+
+
+def classify_branch(context: BenchmarkContext, branch_id: int,
+                    config: AnalysisConfig,
+                    keep_result: bool = False) -> BranchInfo:
+    """Classify one conditional under ``config`` (Fig. 9 categories)."""
+    result = analyze_branch(context.icfg, branch_id, config)
+    executions = context.profile.branch_executions(branch_id)
+    info = BranchInfo(
+        branch_id=branch_id,
+        executions=executions,
+        analyzable=result.analyzable,
+        correlated=result.has_correlation,
+        fully_correlated=result.fully_correlated,
+        duplication_bound=(duplication_upper_bound(result)
+                           if result.has_correlation else 0),
+        benefit_estimate=eliminated_executions_estimate(result,
+                                                        context.profile),
+        pairs_examined=result.stats.pairs_examined,
+        result=result if keep_result else None)
+    return info
+
+
+def branch_population(context: BenchmarkContext, config: AnalysisConfig
+                      ) -> List[BranchInfo]:
+    """Classify every conditional in the benchmark under ``config``."""
+    return [classify_branch(context, branch.id, config)
+            for branch in context.icfg.branch_nodes()]
+
+
+def percent(part: float, whole: float) -> float:
+    """``part`` as a percentage of ``whole`` (0 when whole is 0)."""
+    return 100.0 * part / whole if whole else 0.0
+
+
+def population_summary(infos: List[BranchInfo]) -> Dict[str, float]:
+    """Aggregate a classification the way Fig. 9 reports it."""
+    total = len(infos)
+    total_exec = sum(i.executions for i in infos)
+    return {
+        "conditionals": total,
+        "executed": total_exec,
+        "analyzable_pct": percent(sum(1 for i in infos if i.analyzable),
+                                  total),
+        "correlated_pct": percent(sum(1 for i in infos if i.correlated),
+                                  total),
+        "fully_pct": percent(sum(1 for i in infos if i.fully_correlated),
+                             total),
+        "correlated_dyn_pct": percent(
+            sum(i.executions for i in infos if i.correlated), total_exec),
+        "fully_dyn_pct": percent(
+            sum(i.executions for i in infos if i.fully_correlated),
+            total_exec),
+    }

@@ -1,0 +1,83 @@
+"""Table 1: benchmark program characteristics.
+
+The paper's Table 1 reports, per benchmark: source lines, procedures
+(defined and library), ICFG node counts (all and conditional), and the
+conditional share of the program statically and dynamically.  We report
+the same columns for the substitute suite; "library procedures" counts
+the classifier/helper procedures (those never calling anything else),
+mirroring the paper's defined-vs-library split.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List
+
+from repro.analysis.modref import call_graph
+from repro.benchgen.suite import benchmark_names
+from repro.harness.metrics import BenchmarkContext, percent, prepare_benchmark
+from repro.utils.tables import render_table
+
+
+@dataclass
+class Table1Row:
+    name: str
+    source_lines: int
+    procedures: int
+    leaf_procedures: int
+    nodes_all: int
+    nodes_executable: int
+    nodes_conditional: int
+    static_cond_pct: float
+    dynamic_cond_pct: float
+
+
+def table1_row(context: BenchmarkContext) -> Table1Row:
+    """One benchmark's Table 1 row from its prepared context."""
+    icfg = context.icfg
+    callees = call_graph(icfg)
+    leaves = sum(1 for name, targets in callees.items()
+                 if not targets and name != icfg.main)
+    executable = icfg.executable_node_count()
+    conditionals = icfg.conditional_node_count()
+    profile = context.profile
+    return Table1Row(
+        name=context.name,
+        source_lines=context.bench.source_lines,
+        procedures=len(icfg.procs),
+        leaf_procedures=leaves,
+        nodes_all=icfg.node_count(),
+        nodes_executable=executable,
+        nodes_conditional=conditionals,
+        static_cond_pct=percent(conditionals, executable),
+        dynamic_cond_pct=percent(profile.executed_conditionals,
+                                 profile.executed_operations))
+
+
+def compute_table1(names: List[str] = None) -> List[Table1Row]:
+    """Table 1 rows for the given (default: all) benchmarks."""
+    rows = []
+    for name in (names if names is not None else benchmark_names()):
+        rows.append(table1_row(prepare_benchmark(name)))
+    return rows
+
+
+def render_table1(rows: List[Table1Row]) -> str:
+    """ASCII rendering of Table 1."""
+    headers = ["benchmark", "lines", "procs", "leaf procs", "nodes",
+               "exec nodes", "cond nodes", "cond/prog static %",
+               "cond/prog dynamic %"]
+    body = [[r.name, r.source_lines, r.procedures, r.leaf_procedures,
+             r.nodes_all, r.nodes_executable, r.nodes_conditional,
+             r.static_cond_pct, r.dynamic_cond_pct] for r in rows]
+    return render_table(headers, body,
+                        title="Table 1: benchmark programs")
+
+
+def main() -> None:
+    """Print Table 1 for the whole suite."""
+    print(render_table1(compute_table1()))
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,118 @@
+"""Table 2: the cost of correlation analysis.
+
+The paper reports, per benchmark: overall compile time vs analysis
+time, memory for the program representation vs the analysis structures,
+and node-query pairs processed (total and per conditional).  We measure
+the same quantities on the substitute suite: wall-clock seconds for the
+front end + lowering vs the per-conditional analyses (budget 1000, the
+paper's Fig. 11 setting), structure counts converted to nominal
+kilobytes, and exact pair counts from the engine's statistics.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass
+from typing import List, Optional
+
+from repro.analysis import AnalysisConfig, analyze_branch
+from repro.benchgen.suite import benchmark_names, load_benchmark
+from repro.ir import lower_program, verify_icfg
+from repro.utils.tables import render_table
+
+#: Nominal bytes per structure for the memory estimate columns (the
+#: paper reports megabytes of its C structs; we report the equivalent
+#: structural footprint rather than Python object overhead).
+BYTES_PER_NODE = 48
+BYTES_PER_EDGE = 24
+BYTES_PER_PAIR = 56
+BYTES_PER_SUMMARY = 72
+
+
+@dataclass
+class Table2Row:
+    name: str
+    overall_seconds: float
+    analysis_seconds: float
+    progrep_kb: float
+    analysis_kb: float
+    pairs_total: int
+    pairs_per_conditional: float
+    conditionals: int
+    budget_hits: int
+
+
+def measure_benchmark(name: str,
+                      config: Optional[AnalysisConfig] = None) -> Table2Row:
+    """One benchmark's Table 2 row (times, memory, pair counts)."""
+    cfg = config if config is not None else AnalysisConfig(budget=1000)
+    start = time.perf_counter()
+    bench = load_benchmark(name)
+    icfg = lower_program(bench.program)
+    verify_icfg(icfg)
+    frontend_seconds = time.perf_counter() - start
+
+    edge_count = sum(len(icfg.succ_edges(n)) for n in icfg.nodes)
+    progrep_kb = (icfg.node_count() * BYTES_PER_NODE
+                  + edge_count * BYTES_PER_EDGE) / 1024.0
+
+    pairs_total = 0
+    raised_total = 0
+    summaries_total = 0
+    budget_hits = 0
+    analyzed = 0
+    analysis_start = time.perf_counter()
+    branches = icfg.branch_nodes()
+    for branch in branches:
+        result = analyze_branch(icfg, branch.id, cfg)
+        pairs_total += result.stats.pairs_examined
+        raised_total += result.stats.queries_raised
+        summaries_total += result.stats.summary_entries_created
+        if result.stats.budget_exhausted:
+            budget_hits += 1
+        if result.analyzable:
+            analyzed += 1
+    analysis_seconds = time.perf_counter() - analysis_start
+
+    analysis_kb = (raised_total * BYTES_PER_PAIR
+                   + summaries_total * BYTES_PER_SUMMARY) / 1024.0
+    per_cond = pairs_total / analyzed if analyzed else 0.0
+    return Table2Row(name=name,
+                     overall_seconds=frontend_seconds + analysis_seconds,
+                     analysis_seconds=analysis_seconds,
+                     progrep_kb=progrep_kb,
+                     analysis_kb=analysis_kb,
+                     pairs_total=pairs_total,
+                     pairs_per_conditional=per_cond,
+                     conditionals=len(branches),
+                     budget_hits=budget_hits)
+
+
+def compute_table2(names: Optional[List[str]] = None,
+                   config: Optional[AnalysisConfig] = None) -> List[Table2Row]:
+    """Table 2 rows for the given (default: all) benchmarks."""
+    return [measure_benchmark(name, config)
+            for name in (names if names is not None else benchmark_names())]
+
+
+def render_table2(rows: List[Table2Row]) -> str:
+    """ASCII rendering of Table 2."""
+    headers = ["benchmark", "overall [s]", "analysis [s]", "progrep [KB]",
+               "analysis [KB]", "pairs total", "pairs/cond", "conds",
+               "budget hits"]
+    body = [[r.name, round(r.overall_seconds, 4), round(r.analysis_seconds, 4),
+             r.progrep_kb, r.analysis_kb, r.pairs_total,
+             r.pairs_per_conditional, r.conditionals, r.budget_hits]
+            for r in rows]
+    return render_table(headers, body,
+                        title="Table 2: cost of correlation analysis "
+                              "(budget 1000)")
+
+
+def main() -> None:
+    """Print Table 2 for the whole suite."""
+    print(render_table2(compute_table2()))
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,59 @@
+"""Deterministic input streams for program runs.
+
+A :class:`Workload` is the run's entire external world: every ``input()``
+in the program consumes the next value.  An exhausted stream yields
+``default`` forever (programs typically treat that as end-of-file), so
+runs are total and reproducible — the property differential testing
+needs.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Iterable, List, Optional
+
+
+class Workload:
+    """A replayable stream of integers for ``input()``."""
+
+    def __init__(self, values: Iterable[int], default: int = 0,
+                 name: str = "") -> None:
+        self.values: List[int] = [int(v) for v in values]
+        self.default = default
+        self.name = name
+        self._pos = 0
+
+    def next_value(self) -> int:
+        if self._pos < len(self.values):
+            value = self.values[self._pos]
+            self._pos += 1
+            return value
+        return self.default
+
+    @property
+    def consumed(self) -> int:
+        return self._pos
+
+    def reset(self) -> "Workload":
+        """Rewind so the same workload can drive another run."""
+        self._pos = 0
+        return self
+
+    def fresh(self) -> "Workload":
+        """An independent, rewound copy."""
+        return Workload(self.values, self.default, self.name)
+
+    @staticmethod
+    def random(length: int, low: int = -8, high: int = 8,
+               seed: Optional[int] = None, name: str = "") -> "Workload":
+        """A uniformly random workload (used by property tests)."""
+        rng = random.Random(seed)
+        return Workload([rng.randint(low, high) for _ in range(length)],
+                        name=name)
+
+    def __len__(self) -> int:
+        return len(self.values)
+
+    def __repr__(self) -> str:
+        label = f" {self.name!r}" if self.name else ""
+        return f"Workload{label}(len={len(self.values)})"

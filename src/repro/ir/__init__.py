@@ -1,0 +1,39 @@
+"""The interprocedural control-flow-graph (ICFG) substrate.
+
+This package is the IR the whole reproduction runs on: MiniC programs
+are lowered to one statement-level node per operation, procedures are
+stitched together in the *call-site normal form* of paper Fig. 3, and
+both the correlation analysis and the restructuring operate directly on
+this graph.
+
+Key concepts:
+
+- :class:`~repro.ir.icfg.ICFG` — the whole-program graph; procedures may
+  have multiple entries/exits (the result of entry/exit splitting).
+- :class:`~repro.ir.nodes.Node` subclasses — Entry, Exit, Call, CallExit,
+  Assign, Branch, Store, Print, Nop.
+- :class:`~repro.ir.expr.VarId` — scoped variable identity (globals vs
+  per-procedure locals vs the per-procedure return slot ``$ret``).
+- :func:`~repro.ir.lower.lower_program` — AST → ICFG.
+- :func:`~repro.ir.verify.verify_icfg` — structural invariants, run
+  after every transformation.
+"""
+
+from repro.ir.expr import (Alloc, BinaryExpr, Const, Convert, Expr, InputRead,
+                           Load, UnaryExpr, VarExpr, VarId)
+from repro.ir.icfg import Edge, EdgeKind, ICFG, ProcInfo
+from repro.ir.lower import lower_program
+from repro.ir.nodes import (AssignNode, BranchNode, CallExitNode, CallNode,
+                            EntryNode, ExitNode, Node, NopNode, PrintNode,
+                            StoreNode)
+from repro.ir.ops import RelOp
+from repro.ir.printer import dump_icfg
+from repro.ir.verify import verify_icfg
+
+__all__ = [
+    "Alloc", "AssignNode", "BinaryExpr", "BranchNode", "CallExitNode",
+    "CallNode", "Const", "Convert", "Edge", "EdgeKind", "EntryNode",
+    "ExitNode", "Expr", "ICFG", "InputRead", "Load", "Node", "NopNode",
+    "PrintNode", "ProcInfo", "RelOp", "StoreNode", "UnaryExpr", "VarExpr",
+    "VarId", "dump_icfg", "lower_program", "verify_icfg",
+]

@@ -1,0 +1,250 @@
+"""IR expressions and scoped variable identities.
+
+IR expressions are *pure* except for three effectful leaf forms that
+lowering only ever places at the top of an assignment right-hand side:
+:class:`InputRead` (consumes the workload stream), :class:`Alloc`
+(allocates, may yield NULL), and :class:`Load` (faults on NULL).  Every
+other position — branch predicates, call arguments, store operands,
+nested operands — contains only pure expressions, which is what makes
+branch elimination safe: deleting a conditional deletes no side effect.
+
+Variables are :class:`VarId` values: globals have ``scope=None``; locals,
+parameters, and compiler temporaries are scoped to their procedure; each
+procedure has a distinguished return slot ``VarId(proc, "$ret")``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterator, List, Optional, Tuple
+
+RET_NAME = "$ret"
+
+
+@dataclass(frozen=True)
+class VarId:
+    """Identity of a variable: global (scope None) or procedure-local."""
+
+    scope: Optional[str]
+    name: str
+
+    @property
+    def is_global(self) -> bool:
+        return self.scope is None
+
+    @property
+    def is_ret(self) -> bool:
+        return self.name == RET_NAME
+
+    @staticmethod
+    def global_(name: str) -> "VarId":
+        return VarId(None, name)
+
+    @staticmethod
+    def local(proc: str, name: str) -> "VarId":
+        return VarId(proc, name)
+
+    @staticmethod
+    def ret(proc: str) -> "VarId":
+        return VarId(proc, RET_NAME)
+
+    def __str__(self) -> str:
+        if self.scope is None:
+            return self.name
+        return f"{self.scope}::{self.name}"
+
+
+# --------------------------------------------------------------------------
+# Expression classes
+# --------------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class Expr:
+    """Base class for IR expressions."""
+
+    def free_vars(self) -> Tuple[VarId, ...]:
+        return tuple(self._walk_vars())
+
+    def _walk_vars(self) -> Iterator[VarId]:
+        return iter(())
+
+    @property
+    def is_pure(self) -> bool:
+        """True if evaluation has no effect and cannot fault."""
+        return True
+
+
+@dataclass(frozen=True)
+class Const(Expr):
+    value: int = 0
+
+    def __str__(self) -> str:
+        return str(self.value)
+
+
+@dataclass(frozen=True)
+class VarExpr(Expr):
+    var: VarId = field(default_factory=lambda: VarId(None, "?"))
+
+    def _walk_vars(self) -> Iterator[VarId]:
+        yield self.var
+
+    def __str__(self) -> str:
+        return str(self.var)
+
+
+@dataclass(frozen=True)
+class UnaryExpr(Expr):
+    op: str = "-"
+    operand: Expr = field(default_factory=Const)
+
+    def _walk_vars(self) -> Iterator[VarId]:
+        return self.operand._walk_vars()
+
+    def __str__(self) -> str:
+        return f"{self.op}({self.operand})"
+
+
+@dataclass(frozen=True)
+class BinaryExpr(Expr):
+    op: str = "+"
+    left: Expr = field(default_factory=Const)
+    right: Expr = field(default_factory=Const)
+
+    def _walk_vars(self) -> Iterator[VarId]:
+        yield from self.left._walk_vars()
+        yield from self.right._walk_vars()
+
+    def __str__(self) -> str:
+        return f"({self.left} {self.op} {self.right})"
+
+
+@dataclass(frozen=True)
+class Convert(Expr):
+    """``(unsigned) e`` — pure; result always in [0, 255]."""
+
+    operand: Expr = field(default_factory=Const)
+
+    def _walk_vars(self) -> Iterator[VarId]:
+        return self.operand._walk_vars()
+
+    def __str__(self) -> str:
+        return f"(unsigned){self.operand}"
+
+
+@dataclass(frozen=True)
+class InputRead(Expr):
+    """``input()`` — effectful: consumes one value from the workload."""
+
+    @property
+    def is_pure(self) -> bool:
+        return False
+
+    def __str__(self) -> str:
+        return "input()"
+
+
+@dataclass(frozen=True)
+class Alloc(Expr):
+    """``alloc(n)`` — effectful: allocates; may yield 0 (NULL)."""
+
+    size: Expr = field(default_factory=Const)
+
+    def _walk_vars(self) -> Iterator[VarId]:
+        return self.size._walk_vars()
+
+    @property
+    def is_pure(self) -> bool:
+        return False
+
+    def __str__(self) -> str:
+        return f"alloc({self.size})"
+
+
+@dataclass(frozen=True)
+class Load(Expr):
+    """``load(p)`` — effectful: faults when ``p`` is 0; implies p != 0."""
+
+    address: Expr = field(default_factory=Const)
+
+    def _walk_vars(self) -> Iterator[VarId]:
+        return self.address._walk_vars()
+
+    @property
+    def is_pure(self) -> bool:
+        return False
+
+    def __str__(self) -> str:
+        return f"load({self.address})"
+
+
+# --------------------------------------------------------------------------
+# Shape helpers used by the correlation resolver
+# --------------------------------------------------------------------------
+
+
+def as_var(expr: Expr) -> Optional[VarId]:
+    """The variable if ``expr`` is exactly a variable reference."""
+    if isinstance(expr, VarExpr):
+        return expr.var
+    return None
+
+
+def as_const(expr: Expr) -> Optional[int]:
+    """The value if ``expr`` is exactly a constant."""
+    if isinstance(expr, Const):
+        return expr.value
+    return None
+
+
+def as_var_plus_const(expr: Expr) -> Optional[Tuple[VarId, int]]:
+    """Match ``w``, ``w + c``, ``w - c``, ``c + w`` → ``(w, offset)``.
+
+    This powers the generalised copy back-substitution (paper §3.1 allows
+    "more general symbolic back-substitution"); plain copies are the
+    ``offset == 0`` case.
+    """
+    if isinstance(expr, VarExpr):
+        return expr.var, 0
+    if isinstance(expr, BinaryExpr) and expr.op in ("+", "-"):
+        left_var = as_var(expr.left)
+        right_const = as_const(expr.right)
+        if left_var is not None and right_const is not None:
+            offset = right_const if expr.op == "+" else -right_const
+            return left_var, offset
+        if expr.op == "+":
+            left_const = as_const(expr.left)
+            right_var = as_var(expr.right)
+            if left_const is not None and right_var is not None:
+                return right_var, left_const
+    return None
+
+
+def direct_deref_vars(exprs: List[Expr]) -> Tuple[VarId, ...]:
+    """Variables that are dereferenced *directly* (``load(p)`` with p a var).
+
+    A completed execution of a node containing such a load guarantees
+    ``p != 0`` on the outgoing paths (paper correlation source #4).
+    """
+    found: List[VarId] = []
+
+    def walk(expr: Expr) -> None:
+        if isinstance(expr, Load):
+            var = as_var(expr.address)
+            if var is not None:
+                found.append(var)
+            walk(expr.address)
+        elif isinstance(expr, UnaryExpr):
+            walk(expr.operand)
+        elif isinstance(expr, BinaryExpr):
+            walk(expr.left)
+            walk(expr.right)
+        elif isinstance(expr, Convert):
+            walk(expr.operand)
+        elif isinstance(expr, Alloc):
+            walk(expr.size)
+
+    for expr in exprs:
+        walk(expr)
+    return tuple(found)

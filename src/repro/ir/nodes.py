@@ -1,0 +1,235 @@
+"""ICFG node kinds.
+
+One node per operation (the paper's nodes are DAGs of a few operations;
+single statements are the same granularity class).  Node identity is an
+integer id owned by the enclosing :class:`~repro.ir.icfg.ICFG`; edges
+live in the graph, not on nodes, so splitting a node never mutates
+neighbours behind the graph's back.
+
+Executable ("operation") nodes — the ones the safety theorem counts —
+are Assign, Branch, Store, Print, and Call.  Entry, Exit, CallExit and
+Nop are dummy nodes: they carry control (and, for CallExit, the
+return-value binding) but are free.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+from repro.ir.expr import Const, Expr, VarExpr, VarId
+from repro.ir.ops import RelOp
+
+
+@dataclass
+class Node:
+    """Base class: an ICFG vertex owned by procedure ``proc``."""
+
+    id: int
+    proc: str
+
+    #: Executable nodes count as operations for path-length purposes.
+    is_executable = False
+
+    def defined_var(self) -> Optional[VarId]:
+        """The variable this node assigns, if any."""
+        return None
+
+    def used_exprs(self) -> List[Expr]:
+        """Every expression the node evaluates (for deref fact scanning)."""
+        return []
+
+    def label(self) -> str:
+        """Short human-readable description for dumps."""
+        return type(self).__name__
+
+    def copy_with_id(self, new_id: int) -> "Node":
+        """A duplicate of this node under a fresh id (edges not copied)."""
+        raise NotImplementedError
+
+
+@dataclass
+class EntryNode(Node):
+    """Procedure entry.  Procedures may own several after entry splitting."""
+
+    def label(self) -> str:
+        return f"entry {self.proc}"
+
+    def copy_with_id(self, new_id: int) -> "EntryNode":
+        return EntryNode(new_id, self.proc)
+
+
+@dataclass
+class ExitNode(Node):
+    """Procedure exit.  Procedures may own several after exit splitting."""
+
+    def label(self) -> str:
+        return f"exit {self.proc}"
+
+    def copy_with_id(self, new_id: int) -> "ExitNode":
+        return ExitNode(new_id, self.proc)
+
+
+@dataclass
+class NopNode(Node):
+    """Dummy control node (join points, loop headers, eliminated branches)."""
+
+    note: str = ""
+
+    def label(self) -> str:
+        return f"nop {self.note}".rstrip()
+
+    def copy_with_id(self, new_id: int) -> "NopNode":
+        return NopNode(new_id, self.proc, self.note)
+
+
+@dataclass
+class AssignNode(Node):
+    """``target := rhs``.  The rhs may be effectful only at its top level
+    (Input/Alloc/Load), which lowering guarantees."""
+
+    target: VarId = field(default_factory=lambda: VarId(None, "?"))
+    rhs: Expr = field(default_factory=Const)
+
+    is_executable = True
+
+    def defined_var(self) -> Optional[VarId]:
+        return self.target
+
+    def used_exprs(self) -> List[Expr]:
+        return [self.rhs]
+
+    def label(self) -> str:
+        return f"{self.target} := {self.rhs}"
+
+    def copy_with_id(self, new_id: int) -> "AssignNode":
+        return AssignNode(new_id, self.proc, self.target, self.rhs)
+
+
+@dataclass
+class BranchNode(Node):
+    """Two-way conditional on a pure predicate expression.
+
+    Out-edges carry TRUE/FALSE kinds.  :meth:`correlation_pattern` gives
+    the ``(v relop c)`` shape the analysis understands, when the
+    predicate has it.
+    """
+
+    predicate: Expr = field(default_factory=Const)
+
+    is_executable = True
+
+    def used_exprs(self) -> List[Expr]:
+        return [self.predicate]
+
+    def correlation_pattern(self) -> Optional[Tuple[VarId, RelOp, int]]:
+        """Match ``v relop c`` / ``c relop v`` / bare ``v`` (== v != 0)."""
+        pred = self.predicate
+        if isinstance(pred, VarExpr):
+            return pred.var, RelOp.NE, 0
+        # BinaryExpr with relational operator and a var/const pair.
+        from repro.ir.expr import BinaryExpr, as_const, as_var  # local import: cycle
+        if isinstance(pred, BinaryExpr) and pred.op in {r.value for r in RelOp}:
+            relop = RelOp.from_symbol(pred.op)
+            left_var, right_const = as_var(pred.left), as_const(pred.right)
+            if left_var is not None and right_const is not None:
+                return left_var, relop, right_const
+            left_const, right_var = as_const(pred.left), as_var(pred.right)
+            if left_const is not None and right_var is not None:
+                return right_var, relop.swapped(), left_const
+        return None
+
+    def label(self) -> str:
+        return f"if {self.predicate}"
+
+    def copy_with_id(self, new_id: int) -> "BranchNode":
+        return BranchNode(new_id, self.proc, self.predicate)
+
+
+@dataclass
+class StoreNode(Node):
+    """``store(address, value)`` — heap write; faults on NULL address."""
+
+    address: Expr = field(default_factory=Const)
+    value: Expr = field(default_factory=Const)
+
+    is_executable = True
+
+    def used_exprs(self) -> List[Expr]:
+        return [self.address, self.value]
+
+    def label(self) -> str:
+        return f"store({self.address}, {self.value})"
+
+    def copy_with_id(self, new_id: int) -> "StoreNode":
+        return StoreNode(new_id, self.proc, self.address, self.value)
+
+
+@dataclass
+class PrintNode(Node):
+    """``print value`` — appends to the observable output stream."""
+
+    value: Expr = field(default_factory=Const)
+
+    is_executable = True
+
+    def used_exprs(self) -> List[Expr]:
+        return [self.value]
+
+    def label(self) -> str:
+        return f"print {self.value}"
+
+    def copy_with_id(self, new_id: int) -> "PrintNode":
+        return PrintNode(new_id, self.proc, self.value)
+
+
+@dataclass
+class CallNode(Node):
+    """Call site.  Successors: one CALL edge to an entry of ``callee`` and
+    one LOCAL edge per associated call-site exit node.
+
+    ``return_map`` realises exit splitting at run time: it maps each
+    reachable exit node of the callee to the call-site exit node control
+    resumes at — exactly the paper's "additional return addresses".
+    """
+
+    callee: str = ""
+    args: List[Expr] = field(default_factory=list)
+    entry_id: int = -1
+    return_map: Dict[int, int] = field(default_factory=dict)
+
+    is_executable = True
+
+    def used_exprs(self) -> List[Expr]:
+        return list(self.args)
+
+    def label(self) -> str:
+        rendered = ", ".join(str(a) for a in self.args)
+        return f"call {self.callee}({rendered})"
+
+    def copy_with_id(self, new_id: int) -> "CallNode":
+        return CallNode(new_id, self.proc, self.callee, list(self.args),
+                        self.entry_id, dict(self.return_map))
+
+
+@dataclass
+class CallExitNode(Node):
+    """Call-site exit (paper Fig. 3): the return point of one call site.
+
+    Predecessors: exactly one call node (LOCAL) and one procedure exit
+    (RETURN).  If ``result`` is set, the callee's return value is bound
+    to it when control resumes here.
+    """
+
+    result: Optional[VarId] = None
+
+    def defined_var(self) -> Optional[VarId]:
+        return self.result
+
+    def label(self) -> str:
+        if self.result is None:
+            return "call-exit"
+        return f"call-exit {self.result} := $ret"
+
+    def copy_with_id(self, new_id: int) -> "CallExitNode":
+        return CallExitNode(new_id, self.proc, self.result)

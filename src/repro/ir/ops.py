@@ -1,0 +1,125 @@
+"""Operator semantics shared by the interpreter and the analysis.
+
+MiniC integers are unbounded Python ints with *total* arithmetic:
+division/modulo by zero yield 0 (documented language rule), so that the
+interpreter never faults on arithmetic and differential tests compare
+values, not trap behaviour.  The only runtime fault is a null heap
+access.
+
+:class:`RelOp` is the shared vocabulary of relational operators used by
+branch predicates and by analysis queries ``(v relop c)``.
+"""
+
+from __future__ import annotations
+
+from enum import Enum, unique
+from typing import Callable, Dict
+
+
+@unique
+class RelOp(Enum):
+    """The six relational operators, with their concrete semantics."""
+
+    EQ = "=="
+    NE = "!="
+    LT = "<"
+    LE = "<="
+    GT = ">"
+    GE = ">="
+
+    def evaluate(self, left: int, right: int) -> bool:
+        return _RELOP_FUNCS[self](left, right)
+
+    def negated(self) -> "RelOp":
+        """The operator describing the complement: ``not (a op b)``."""
+        return _NEGATED[self]
+
+    def swapped(self) -> "RelOp":
+        """The operator R' with ``a R b  <=>  b R' a`` (for const-on-left)."""
+        return _SWAPPED[self]
+
+    @staticmethod
+    def from_symbol(symbol: str) -> "RelOp":
+        return _BY_SYMBOL[symbol]
+
+    def __str__(self) -> str:
+        return self.value
+
+
+_RELOP_FUNCS: Dict[RelOp, Callable[[int, int], bool]] = {
+    RelOp.EQ: lambda a, b: a == b,
+    RelOp.NE: lambda a, b: a != b,
+    RelOp.LT: lambda a, b: a < b,
+    RelOp.LE: lambda a, b: a <= b,
+    RelOp.GT: lambda a, b: a > b,
+    RelOp.GE: lambda a, b: a >= b,
+}
+
+_NEGATED = {
+    RelOp.EQ: RelOp.NE,
+    RelOp.NE: RelOp.EQ,
+    RelOp.LT: RelOp.GE,
+    RelOp.LE: RelOp.GT,
+    RelOp.GT: RelOp.LE,
+    RelOp.GE: RelOp.LT,
+}
+
+_SWAPPED = {
+    RelOp.EQ: RelOp.EQ,
+    RelOp.NE: RelOp.NE,
+    RelOp.LT: RelOp.GT,
+    RelOp.LE: RelOp.GE,
+    RelOp.GT: RelOp.LT,
+    RelOp.GE: RelOp.LE,
+}
+
+_BY_SYMBOL = {op.value: op for op in RelOp}
+
+RELOP_SYMBOLS = tuple(_BY_SYMBOL)
+
+UNSIGNED_MASK = 0xFF
+"""``(unsigned) e`` keeps the low 8 bits — an unsigned-char fetch."""
+
+
+def eval_binary(op: str, left: int, right: int) -> int:
+    """Apply a MiniC binary operator; relationals/logicals yield 0/1."""
+    if op == "+":
+        return left + right
+    if op == "-":
+        return left - right
+    if op == "*":
+        return left * right
+    if op == "/":
+        # Total semantics: x / 0 == 0; otherwise C-style truncation.
+        if right == 0:
+            return 0
+        quotient = abs(left) // abs(right)
+        return quotient if (left >= 0) == (right >= 0) else -quotient
+    if op == "%":
+        # Total semantics: x % 0 == 0; sign follows the dividend (C-style).
+        if right == 0:
+            return 0
+        remainder = abs(left) % abs(right)
+        return remainder if left >= 0 else -remainder
+    if op == "&&":
+        # Eager in expression context (branch context short-circuits via CFG).
+        return 1 if (left != 0 and right != 0) else 0
+    if op == "||":
+        return 1 if (left != 0 or right != 0) else 0
+    if op in _BY_SYMBOL:
+        return 1 if RelOp.from_symbol(op).evaluate(left, right) else 0
+    raise ValueError(f"unknown binary operator {op!r}")
+
+
+def eval_unary(op: str, operand: int) -> int:
+    """Apply a MiniC unary operator."""
+    if op == "-":
+        return -operand
+    if op == "!":
+        return 1 if operand == 0 else 0
+    raise ValueError(f"unknown unary operator {op!r}")
+
+
+def eval_convert(operand: int) -> int:
+    """``(unsigned) e``: the low 8 bits, always in [0, 255]."""
+    return operand & UNSIGNED_MASK

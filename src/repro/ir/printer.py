@@ -1,0 +1,91 @@
+"""Textual and DOT dumps of an ICFG (for debugging and golden tests)."""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional
+
+from repro.ir.icfg import EdgeKind, ICFG
+from repro.ir.nodes import BranchNode
+
+
+def dump_icfg(icfg: ICFG) -> str:
+    """Deterministic one-line-per-node dump, grouped by procedure."""
+    lines: List[str] = []
+    for proc_name in sorted(icfg.procs):
+        info = icfg.procs[proc_name]
+        params = ", ".join(str(p) for p in info.params)
+        lines.append(f"proc {proc_name}({params}) "
+                     f"entries={info.entries} exits={info.exits}")
+        for node in icfg.iter_nodes():
+            if node.proc != proc_name:
+                continue
+            succ_text = ", ".join(
+                f"{e.kind.value}->{e.dst}" for e in icfg.succ_edges(node.id))
+            lines.append(f"  [{node.id}] {node.label()}"
+                         + (f"  ({succ_text})" if succ_text else ""))
+        lines.append("")
+    return "\n".join(lines).rstrip() + "\n"
+
+
+_EDGE_STYLE = {
+    EdgeKind.NORMAL: "",
+    EdgeKind.TRUE: ' [label="T",color=darkgreen]',
+    EdgeKind.FALSE: ' [label="F",color=red]',
+    EdgeKind.CALL: ' [style=dashed,color=blue]',
+    EdgeKind.LOCAL: ' [style=dotted]',
+    EdgeKind.RETURN: ' [style=dashed,color=purple]',
+}
+
+
+def to_dot(icfg: ICFG, fills: Optional[Dict[int, str]] = None) -> str:
+    """Graphviz rendering with one cluster per procedure.
+
+    ``fills`` maps node ids to fill colors — the analysis overlay
+    (``icbe analyze --dot``) uses it to color conditionals by their
+    correlation status.
+    """
+    lines = ["digraph icfg {", "  node [shape=box,fontname=monospace];"]
+    for index, proc_name in enumerate(sorted(icfg.procs)):
+        lines.append(f"  subgraph cluster_{index} {{")
+        lines.append(f'    label="{proc_name}";')
+        for node in icfg.iter_nodes():
+            if node.proc != proc_name:
+                continue
+            attrs = ""
+            if isinstance(node, BranchNode):
+                attrs += ",shape=diamond"
+            if fills and node.id in fills:
+                attrs += f',style=filled,fillcolor="{fills[node.id]}"'
+            text = node.label().replace('"', "'")
+            lines.append(f'    n{node.id} [label="{node.id}: {text}"{attrs}];')
+        lines.append("  }")
+    for node in icfg.iter_nodes():
+        for edge in icfg.succ_edges(node.id):
+            lines.append(
+                f"  n{edge.src} -> n{edge.dst}{_EDGE_STYLE[edge.kind]};")
+    lines.append("}")
+    return "\n".join(lines) + "\n"
+
+
+#: Overlay colors for `correlation_fills`.
+FILL_FULL = "palegreen"
+FILL_PARTIAL = "khaki"
+FILL_NONE = "lightgray"
+
+
+def correlation_fills(icfg: ICFG, results) -> Dict[int, str]:
+    """Fill colors for an analysis overlay: one entry per conditional.
+
+    ``results`` maps branch id -> :class:`CorrelationResult`; fully
+    correlated branches render green, partially correlated yellow, the
+    rest gray.
+    """
+    fills: Dict[int, str] = {}
+    for branch_id, result in results.items():
+        if result.fully_correlated:
+            fills[branch_id] = FILL_FULL
+        elif result.has_correlation:
+            fills[branch_id] = FILL_PARTIAL
+        else:
+            fills[branch_id] = FILL_NONE
+    return fills

@@ -1,0 +1,73 @@
+"""Graph simplification: remove needless dummy nodes.
+
+Restructuring leaves behind empty nodes: eliminated branch copies, join
+nops whose merge collapsed to one predecessor, chains of forwarding
+nops.  They cost nothing at run time conceptually (they are not
+operations), but they bloat node counts and interpreter step counts, so
+the pipeline compacts them after optimization.
+
+A nop is removable when bypassing it cannot change semantics or break
+call-site normal form:
+
+- it has exactly one NORMAL out-edge (always true for nops), and
+- every in-edge can be redirected to its successor without creating a
+  duplicate edge, and
+- it is not the last node keeping a procedure's entry wired (entries,
+  exits, and call-site exits are never removed here).
+
+The pass iterates to a fixpoint and preserves the verifier invariants
+(checked by tests and re-verified by the pipeline).
+"""
+
+from __future__ import annotations
+
+from repro.ir.icfg import EdgeKind, ICFG
+from repro.ir.nodes import NopNode
+
+
+def _try_bypass(icfg: ICFG, node_id: int) -> bool:
+    """Redirect all in-edges of a nop to its successor; False if unsafe."""
+    out_edges = icfg.succ_edges(node_id)
+    if len(out_edges) != 1 or out_edges[0].kind is not EdgeKind.NORMAL:
+        return False
+    successor = out_edges[0].dst
+    if successor == node_id:
+        return False  # degenerate self-loop; leave it to reachability
+    in_edges = icfg.pred_edges(node_id)
+    # Redirecting must not create duplicate (src, dst, kind) edges; this
+    # arises when a branch reaches the same join through both arms.
+    for edge in in_edges:
+        if icfg.has_edge(edge.src, successor, edge.kind):
+            return False
+    for edge in list(in_edges):
+        icfg.remove_edge(edge)
+        icfg.add_edge(edge.src, successor, edge.kind)
+    icfg.remove_node(node_id)
+    return True
+
+
+def simplify_nops(icfg: ICFG) -> int:
+    """Remove bypassable nop nodes; returns how many were removed.
+
+    Unreachable nops (no predecessors) are removed outright, except the
+    start node of main which has no predecessors by design (main's entry
+    is an EntryNode, never a nop, so this cannot trigger on it).
+    """
+    removed = 0
+    changed = True
+    while changed:
+        changed = False
+        for node in list(icfg.iter_nodes()):
+            if not isinstance(node, NopNode):
+                continue
+            if node.id not in icfg.nodes:
+                continue
+            if not icfg.pred_edges(node.id):
+                icfg.remove_node(node.id)
+                removed += 1
+                changed = True
+                continue
+            if _try_bypass(icfg, node.id):
+                removed += 1
+                changed = True
+    return removed

@@ -1,0 +1,24 @@
+"""MiniC: the small C-like source language the reproduction analyzes.
+
+The paper's implementation sat inside the ICC retargetable C compiler.
+We replace that front end with MiniC, a deliberately small imperative
+language that still exposes every construct the ICBE optimization cares
+about: procedures with parameters and return values, globals, loops,
+short-circuit conditionals, an ``(unsigned)`` conversion, and a tiny
+nullable heap (``alloc``/``load``/``store``) so that all four correlation
+sources from paper §3.1 arise in real programs.
+
+Public surface:
+
+- :func:`parse_program` — source text → checked AST.
+- :func:`repro.lang.pretty.pretty_print` — AST → canonical source text.
+"""
+
+from repro.lang.ast import Program
+from repro.lang.lexer import tokenize
+from repro.lang.parser import parse_program
+from repro.lang.pretty import pretty_print
+from repro.lang.sema import check_program
+
+__all__ = ["Program", "tokenize", "parse_program", "pretty_print",
+           "check_program"]

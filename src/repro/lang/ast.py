@@ -1,0 +1,222 @@
+"""Abstract syntax tree for MiniC.
+
+The AST is deliberately plain: frozen-ish dataclasses, one class per
+construct, a ``line`` attribute on everything for diagnostics.  Nested
+call expressions are legal in the AST; lowering hoists them into
+temporaries so that every ICFG call is its own node.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Optional, Tuple
+
+# --------------------------------------------------------------------------
+# Expressions
+# --------------------------------------------------------------------------
+
+
+@dataclass
+class Expr:
+    """Base class for expressions."""
+
+    line: int = field(default=0, compare=False)
+
+
+@dataclass
+class IntLit(Expr):
+    """Integer literal (negative values arise from constant folding)."""
+
+    value: int = 0
+
+
+@dataclass
+class VarRef(Expr):
+    """Reference to a local, parameter, or global variable."""
+
+    name: str = ""
+
+
+@dataclass
+class Unary(Expr):
+    """Unary ``-`` (negation) or ``!`` (logical not)."""
+
+    op: str = "-"
+    operand: Expr = field(default_factory=Expr)
+
+
+@dataclass
+class Binary(Expr):
+    """Binary arithmetic, relational, or (eager) logical operator."""
+
+    op: str = "+"
+    left: Expr = field(default_factory=Expr)
+    right: Expr = field(default_factory=Expr)
+
+
+@dataclass
+class UnsignedCast(Expr):
+    """``(unsigned) e`` — reinterpret as non-negative (paper source #3).
+
+    Semantics: the low 8 bits of the operand, i.e. the value of an
+    ``unsigned char`` fetch in the paper's stdio example.  The analysis
+    only relies on the result being non-negative.
+    """
+
+    operand: Expr = field(default_factory=Expr)
+
+
+@dataclass
+class CallExpr(Expr):
+    """Procedure call.  May appear nested; lowering hoists it."""
+
+    name: str = ""
+    args: List[Expr] = field(default_factory=list)
+
+
+@dataclass
+class InputExpr(Expr):
+    """``input()`` — next value from the workload input stream."""
+
+
+@dataclass
+class AllocExpr(Expr):
+    """``alloc(n)`` — allocate ``n`` heap cells; may yield 0 (NULL)."""
+
+    size: Expr = field(default_factory=Expr)
+
+
+@dataclass
+class LoadExpr(Expr):
+    """``load(p)`` — read heap cell ``p``; faults if ``p`` is 0.
+
+    A successful load implies ``p != 0`` downstream (paper source #4).
+    """
+
+    address: Expr = field(default_factory=Expr)
+
+
+# --------------------------------------------------------------------------
+# Statements
+# --------------------------------------------------------------------------
+
+
+@dataclass
+class Stmt:
+    """Base class for statements."""
+
+    line: int = field(default=0, compare=False)
+
+
+@dataclass
+class VarDecl(Stmt):
+    """``var x;`` or ``var x = e;`` — function-scoped local."""
+
+    name: str = ""
+    init: Optional[Expr] = None
+
+
+@dataclass
+class Assign(Stmt):
+    """``x = e;``"""
+
+    name: str = ""
+    value: Expr = field(default_factory=Expr)
+
+
+@dataclass
+class CallStmt(Stmt):
+    """``f(a, b);`` — call for effect, result discarded."""
+
+    call: CallExpr = field(default_factory=CallExpr)
+
+
+@dataclass
+class If(Stmt):
+    """``if (cond) { ... } else { ... }`` (else optional)."""
+
+    cond: Expr = field(default_factory=Expr)
+    then_body: List[Stmt] = field(default_factory=list)
+    else_body: List[Stmt] = field(default_factory=list)
+
+
+@dataclass
+class While(Stmt):
+    """``while (cond) { ... }``"""
+
+    cond: Expr = field(default_factory=Expr)
+    body: List[Stmt] = field(default_factory=list)
+
+
+@dataclass
+class Return(Stmt):
+    """``return;`` or ``return e;`` (bare return yields 0)."""
+
+    value: Optional[Expr] = None
+
+
+@dataclass
+class Print(Stmt):
+    """``print e;`` — append a value to the observable output."""
+
+    value: Expr = field(default_factory=Expr)
+
+
+@dataclass
+class StoreStmt(Stmt):
+    """``store(p, v);`` — write heap cell; faults and asserts ``p != 0``."""
+
+    address: Expr = field(default_factory=Expr)
+    value: Expr = field(default_factory=Expr)
+
+
+@dataclass
+class Break(Stmt):
+    """``break;``"""
+
+
+@dataclass
+class Continue(Stmt):
+    """``continue;``"""
+
+
+# --------------------------------------------------------------------------
+# Top level
+# --------------------------------------------------------------------------
+
+
+@dataclass
+class GlobalDecl:
+    """``global g;`` or ``global g = 3;`` (initializer must be constant)."""
+
+    name: str
+    init: int = 0
+    line: int = 0
+
+
+@dataclass
+class ProcDef:
+    """``proc f(a, b) { ... }``"""
+
+    name: str
+    params: List[str]
+    body: List[Stmt]
+    line: int = 0
+
+
+@dataclass
+class Program:
+    """A whole MiniC translation unit."""
+
+    globals: List[GlobalDecl] = field(default_factory=list)
+    procs: List[ProcDef] = field(default_factory=list)
+
+    def proc(self, name: str) -> ProcDef:
+        """Look up a procedure by name (raises KeyError if absent)."""
+        for proc in self.procs:
+            if proc.name == name:
+                return proc
+        raise KeyError(name)
+
+    def proc_names(self) -> Tuple[str, ...]:
+        return tuple(p.name for p in self.procs)

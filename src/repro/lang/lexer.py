@@ -1,0 +1,137 @@
+"""Hand-written scanner for MiniC.
+
+Supports ``//`` line comments and ``/* ... */`` block comments, decimal
+integer literals, and the operator set in :mod:`repro.lang.tokens`.
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+from repro.errors import LexError
+from repro.lang.tokens import KEYWORDS, Token, TokenKind
+
+_TWO_CHAR = {
+    "==": TokenKind.EQ,
+    "!=": TokenKind.NE,
+    "<=": TokenKind.LE,
+    ">=": TokenKind.GE,
+    "&&": TokenKind.AND,
+    "||": TokenKind.OR,
+}
+
+_ONE_CHAR = {
+    "(": TokenKind.LPAREN,
+    ")": TokenKind.RPAREN,
+    "{": TokenKind.LBRACE,
+    "}": TokenKind.RBRACE,
+    ";": TokenKind.SEMI,
+    ",": TokenKind.COMMA,
+    "=": TokenKind.ASSIGN,
+    "<": TokenKind.LT,
+    ">": TokenKind.GT,
+    "+": TokenKind.PLUS,
+    "-": TokenKind.MINUS,
+    "*": TokenKind.STAR,
+    "/": TokenKind.SLASH,
+    "%": TokenKind.PERCENT,
+    "!": TokenKind.NOT,
+}
+
+
+class _Scanner:
+    def __init__(self, source: str) -> None:
+        self.source = source
+        self.pos = 0
+        self.line = 1
+        self.column = 1
+
+    def at_end(self) -> bool:
+        return self.pos >= len(self.source)
+
+    def peek(self, offset: int = 0) -> str:
+        index = self.pos + offset
+        if index >= len(self.source):
+            return ""
+        return self.source[index]
+
+    def advance(self) -> str:
+        char = self.source[self.pos]
+        self.pos += 1
+        if char == "\n":
+            self.line += 1
+            self.column = 1
+        else:
+            self.column += 1
+        return char
+
+    def skip_trivia(self) -> None:
+        """Consume whitespace and comments."""
+        while not self.at_end():
+            char = self.peek()
+            if char in " \t\r\n":
+                self.advance()
+            elif char == "/" and self.peek(1) == "/":
+                while not self.at_end() and self.peek() != "\n":
+                    self.advance()
+            elif char == "/" and self.peek(1) == "*":
+                start_line, start_col = self.line, self.column
+                self.advance()
+                self.advance()
+                while True:
+                    if self.at_end():
+                        raise LexError("unterminated block comment",
+                                       start_line, start_col)
+                    if self.peek() == "*" and self.peek(1) == "/":
+                        self.advance()
+                        self.advance()
+                        break
+                    self.advance()
+            else:
+                return
+
+    def scan_token(self) -> Token:
+        line, column = self.line, self.column
+        char = self.peek()
+
+        if char.isdigit():
+            text = []
+            while not self.at_end() and self.peek().isdigit():
+                text.append(self.advance())
+            if not self.at_end() and (self.peek().isalpha() or self.peek() == "_"):
+                raise LexError(
+                    f"identifier cannot start with a digit: "
+                    f"{''.join(text)}{self.peek()}...", line, column)
+            return Token(TokenKind.INT, "".join(text), line, column)
+
+        if char.isalpha() or char == "_":
+            text = []
+            while not self.at_end() and (self.peek().isalnum() or self.peek() == "_"):
+                text.append(self.advance())
+            word = "".join(text)
+            kind = KEYWORDS.get(word, TokenKind.NAME)
+            return Token(kind, word, line, column)
+
+        two = char + self.peek(1)
+        if two in _TWO_CHAR:
+            self.advance()
+            self.advance()
+            return Token(_TWO_CHAR[two], two, line, column)
+
+        if char in _ONE_CHAR:
+            self.advance()
+            return Token(_ONE_CHAR[char], char, line, column)
+
+        raise LexError(f"unexpected character {char!r}", line, column)
+
+
+def tokenize(source: str) -> List[Token]:
+    """Scan ``source`` into a token list terminated by an EOF token."""
+    scanner = _Scanner(source)
+    tokens: List[Token] = []
+    while True:
+        scanner.skip_trivia()
+        if scanner.at_end():
+            tokens.append(Token(TokenKind.EOF, "", scanner.line, scanner.column))
+            return tokens
+        tokens.append(scanner.scan_token())

@@ -1,0 +1,368 @@
+"""Recursive-descent parser for MiniC.
+
+Grammar (EBNF, ``[]`` optional, ``{}`` repetition)::
+
+    program      = { global_decl | proc_def } ;
+    global_decl  = "global" NAME [ "=" [ "-" ] INT ] ";" ;
+    proc_def     = "proc" NAME "(" [ NAME { "," NAME } ] ")" block ;
+    block        = "{" { stmt } "}" ;
+    stmt         = "var" NAME [ "=" expr ] ";"
+                 | NAME "=" expr ";"
+                 | NAME "(" args ")" ";"
+                 | "if" "(" expr ")" block [ "else" ( block | if_stmt ) ]
+                 | "while" "(" expr ")" block
+                 | "return" [ expr ] ";"
+                 | "print" expr ";"
+                 | "store" "(" expr "," expr ")" ";"
+                 | "break" ";" | "continue" ";" ;
+    expr         = or_expr ;
+    or_expr      = and_expr { "||" and_expr } ;
+    and_expr     = cmp_expr { "&&" cmp_expr } ;
+    cmp_expr     = add_expr [ relop add_expr ] ;
+    add_expr     = mul_expr { ("+" | "-") mul_expr } ;
+    mul_expr     = unary { ("*" | "/" | "%") unary } ;
+    unary        = ("-" | "!") unary | primary ;
+    primary      = INT | NAME | NAME "(" args ")"
+                 | "(" "unsigned" ")" unary
+                 | "(" expr ")"
+                 | "input" "(" ")" | "alloc" "(" expr ")"
+                 | "load" "(" expr ")" ;
+
+Comparison is non-associative (``a < b < c`` is a parse error), which
+keeps predicates in the shape the analysis reasons about.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional
+
+from repro.errors import ParseError
+from repro.lang import ast
+from repro.lang.lexer import tokenize
+from repro.lang.sema import check_program
+from repro.lang.tokens import Token, TokenKind
+
+_RELOPS = {
+    TokenKind.EQ: "==",
+    TokenKind.NE: "!=",
+    TokenKind.LT: "<",
+    TokenKind.LE: "<=",
+    TokenKind.GT: ">",
+    TokenKind.GE: ">=",
+}
+
+_ADDOPS = {TokenKind.PLUS: "+", TokenKind.MINUS: "-"}
+_MULOPS = {TokenKind.STAR: "*", TokenKind.SLASH: "/", TokenKind.PERCENT: "%"}
+
+
+class _Parser:
+    def __init__(self, tokens: List[Token]) -> None:
+        self.tokens = tokens
+        self.pos = 0
+
+    # -- token helpers ----------------------------------------------------
+
+    def peek(self, offset: int = 0) -> Token:
+        index = min(self.pos + offset, len(self.tokens) - 1)
+        return self.tokens[index]
+
+    def at(self, kind: TokenKind) -> bool:
+        return self.peek().kind is kind
+
+    def advance(self) -> Token:
+        token = self.tokens[self.pos]
+        if token.kind is not TokenKind.EOF:
+            self.pos += 1
+        return token
+
+    def expect(self, kind: TokenKind, context: str = "") -> Token:
+        token = self.peek()
+        if token.kind is not kind:
+            where = f" in {context}" if context else ""
+            found = token.text or token.kind.value
+            raise ParseError(
+                f"expected {kind.value!r} but found {found!r}{where}",
+                token.line, token.column)
+        return self.advance()
+
+    def error(self, message: str) -> ParseError:
+        token = self.peek()
+        return ParseError(message, token.line, token.column)
+
+    # -- top level ---------------------------------------------------------
+
+    def parse_program(self) -> ast.Program:
+        program = ast.Program()
+        while not self.at(TokenKind.EOF):
+            if self.at(TokenKind.GLOBAL):
+                program.globals.append(self.parse_global())
+            elif self.at(TokenKind.PROC):
+                program.procs.append(self.parse_proc())
+            else:
+                raise self.error(
+                    f"expected 'proc' or 'global' at top level, found "
+                    f"{self.peek().text!r}")
+        return program
+
+    def parse_global(self) -> ast.GlobalDecl:
+        keyword = self.expect(TokenKind.GLOBAL)
+        name = self.expect(TokenKind.NAME, "global declaration").text
+        init = 0
+        if self.at(TokenKind.ASSIGN):
+            self.advance()
+            negate = False
+            if self.at(TokenKind.MINUS):
+                self.advance()
+                negate = True
+            literal = self.expect(TokenKind.INT, "global initializer")
+            init = -literal.int_value if negate else literal.int_value
+        self.expect(TokenKind.SEMI, "global declaration")
+        return ast.GlobalDecl(name=name, init=init, line=keyword.line)
+
+    def parse_proc(self) -> ast.ProcDef:
+        keyword = self.expect(TokenKind.PROC)
+        name = self.expect(TokenKind.NAME, "procedure definition").text
+        self.expect(TokenKind.LPAREN, "parameter list")
+        params: List[str] = []
+        if not self.at(TokenKind.RPAREN):
+            params.append(self.expect(TokenKind.NAME, "parameter list").text)
+            while self.at(TokenKind.COMMA):
+                self.advance()
+                params.append(self.expect(TokenKind.NAME, "parameter list").text)
+        self.expect(TokenKind.RPAREN, "parameter list")
+        body = self.parse_block()
+        return ast.ProcDef(name=name, params=params, body=body,
+                           line=keyword.line)
+
+    # -- statements ----------------------------------------------------------
+
+    def parse_block(self) -> List[ast.Stmt]:
+        self.expect(TokenKind.LBRACE, "block")
+        stmts: List[ast.Stmt] = []
+        while not self.at(TokenKind.RBRACE):
+            if self.at(TokenKind.EOF):
+                raise self.error("unterminated block (missing '}')")
+            stmts.append(self.parse_stmt())
+        self.expect(TokenKind.RBRACE, "block")
+        return stmts
+
+    def parse_stmt(self) -> ast.Stmt:
+        token = self.peek()
+        kind = token.kind
+        if kind is TokenKind.VAR:
+            return self.parse_var_decl()
+        if kind is TokenKind.IF:
+            return self.parse_if()
+        if kind is TokenKind.WHILE:
+            return self.parse_while()
+        if kind is TokenKind.RETURN:
+            return self.parse_return()
+        if kind is TokenKind.PRINT:
+            self.advance()
+            value = self.parse_expr()
+            self.expect(TokenKind.SEMI, "print statement")
+            return ast.Print(value=value, line=token.line)
+        if kind is TokenKind.STORE:
+            self.advance()
+            self.expect(TokenKind.LPAREN, "store statement")
+            address = self.parse_expr()
+            self.expect(TokenKind.COMMA, "store statement")
+            value = self.parse_expr()
+            self.expect(TokenKind.RPAREN, "store statement")
+            self.expect(TokenKind.SEMI, "store statement")
+            return ast.StoreStmt(address=address, value=value, line=token.line)
+        if kind is TokenKind.BREAK:
+            self.advance()
+            self.expect(TokenKind.SEMI, "break statement")
+            return ast.Break(line=token.line)
+        if kind is TokenKind.CONTINUE:
+            self.advance()
+            self.expect(TokenKind.SEMI, "continue statement")
+            return ast.Continue(line=token.line)
+        if kind is TokenKind.NAME:
+            if self.peek(1).kind is TokenKind.ASSIGN:
+                name = self.advance().text
+                self.advance()
+                value = self.parse_expr()
+                self.expect(TokenKind.SEMI, "assignment")
+                return ast.Assign(name=name, value=value, line=token.line)
+            if self.peek(1).kind is TokenKind.LPAREN:
+                call = self.parse_call()
+                self.expect(TokenKind.SEMI, "call statement")
+                return ast.CallStmt(call=call, line=token.line)
+            raise self.error(
+                f"expected '=' or '(' after name {token.text!r}")
+        raise self.error(f"unexpected token {token.text!r} at start of statement")
+
+    def parse_var_decl(self) -> ast.VarDecl:
+        keyword = self.expect(TokenKind.VAR)
+        name = self.expect(TokenKind.NAME, "variable declaration").text
+        init: Optional[ast.Expr] = None
+        if self.at(TokenKind.ASSIGN):
+            self.advance()
+            init = self.parse_expr()
+        self.expect(TokenKind.SEMI, "variable declaration")
+        return ast.VarDecl(name=name, init=init, line=keyword.line)
+
+    def parse_if(self) -> ast.If:
+        keyword = self.expect(TokenKind.IF)
+        self.expect(TokenKind.LPAREN, "if condition")
+        cond = self.parse_expr()
+        self.expect(TokenKind.RPAREN, "if condition")
+        then_body = self.parse_block()
+        else_body: List[ast.Stmt] = []
+        if self.at(TokenKind.ELSE):
+            self.advance()
+            if self.at(TokenKind.IF):
+                else_body = [self.parse_if()]
+            else:
+                else_body = self.parse_block()
+        return ast.If(cond=cond, then_body=then_body, else_body=else_body,
+                      line=keyword.line)
+
+    def parse_while(self) -> ast.While:
+        keyword = self.expect(TokenKind.WHILE)
+        self.expect(TokenKind.LPAREN, "while condition")
+        cond = self.parse_expr()
+        self.expect(TokenKind.RPAREN, "while condition")
+        body = self.parse_block()
+        return ast.While(cond=cond, body=body, line=keyword.line)
+
+    def parse_return(self) -> ast.Return:
+        keyword = self.expect(TokenKind.RETURN)
+        value: Optional[ast.Expr] = None
+        if not self.at(TokenKind.SEMI):
+            value = self.parse_expr()
+        self.expect(TokenKind.SEMI, "return statement")
+        return ast.Return(value=value, line=keyword.line)
+
+    # -- expressions -----------------------------------------------------------
+
+    def parse_expr(self) -> ast.Expr:
+        return self.parse_or()
+
+    def parse_or(self) -> ast.Expr:
+        left = self.parse_and()
+        while self.at(TokenKind.OR):
+            token = self.advance()
+            right = self.parse_and()
+            left = ast.Binary(op="||", left=left, right=right, line=token.line)
+        return left
+
+    def parse_and(self) -> ast.Expr:
+        left = self.parse_cmp()
+        while self.at(TokenKind.AND):
+            token = self.advance()
+            right = self.parse_cmp()
+            left = ast.Binary(op="&&", left=left, right=right, line=token.line)
+        return left
+
+    def parse_cmp(self) -> ast.Expr:
+        left = self.parse_add()
+        if self.peek().kind in _RELOPS:
+            token = self.advance()
+            right = self.parse_add()
+            result = ast.Binary(op=_RELOPS[token.kind], left=left, right=right,
+                                line=token.line)
+            if self.peek().kind in _RELOPS:
+                raise self.error("chained comparisons are not allowed")
+            return result
+        return left
+
+    def parse_add(self) -> ast.Expr:
+        left = self.parse_mul()
+        while self.peek().kind in _ADDOPS:
+            token = self.advance()
+            right = self.parse_mul()
+            left = ast.Binary(op=_ADDOPS[token.kind], left=left, right=right,
+                              line=token.line)
+        return left
+
+    def parse_mul(self) -> ast.Expr:
+        left = self.parse_unary()
+        while self.peek().kind in _MULOPS:
+            token = self.advance()
+            right = self.parse_unary()
+            left = ast.Binary(op=_MULOPS[token.kind], left=left, right=right,
+                              line=token.line)
+        return left
+
+    def parse_unary(self) -> ast.Expr:
+        token = self.peek()
+        if token.kind is TokenKind.MINUS:
+            self.advance()
+            operand = self.parse_unary()
+            if isinstance(operand, ast.IntLit):
+                return ast.IntLit(value=-operand.value, line=token.line)
+            return ast.Unary(op="-", operand=operand, line=token.line)
+        if token.kind is TokenKind.NOT:
+            self.advance()
+            operand = self.parse_unary()
+            return ast.Unary(op="!", operand=operand, line=token.line)
+        return self.parse_primary()
+
+    def parse_primary(self) -> ast.Expr:
+        token = self.peek()
+        kind = token.kind
+        if kind is TokenKind.INT:
+            self.advance()
+            return ast.IntLit(value=token.int_value, line=token.line)
+        if kind is TokenKind.INPUT:
+            self.advance()
+            self.expect(TokenKind.LPAREN, "input()")
+            self.expect(TokenKind.RPAREN, "input()")
+            return ast.InputExpr(line=token.line)
+        if kind is TokenKind.ALLOC:
+            self.advance()
+            self.expect(TokenKind.LPAREN, "alloc()")
+            size = self.parse_expr()
+            self.expect(TokenKind.RPAREN, "alloc()")
+            return ast.AllocExpr(size=size, line=token.line)
+        if kind is TokenKind.LOAD:
+            self.advance()
+            self.expect(TokenKind.LPAREN, "load()")
+            address = self.parse_expr()
+            self.expect(TokenKind.RPAREN, "load()")
+            return ast.LoadExpr(address=address, line=token.line)
+        if kind is TokenKind.NAME:
+            if self.peek(1).kind is TokenKind.LPAREN:
+                return self.parse_call()
+            self.advance()
+            return ast.VarRef(name=token.text, line=token.line)
+        if kind is TokenKind.LPAREN:
+            if self.peek(1).kind is TokenKind.UNSIGNED:
+                self.advance()
+                self.advance()
+                self.expect(TokenKind.RPAREN, "(unsigned) cast")
+                operand = self.parse_unary()
+                return ast.UnsignedCast(operand=operand, line=token.line)
+            self.advance()
+            inner = self.parse_expr()
+            self.expect(TokenKind.RPAREN, "parenthesized expression")
+            return inner
+        raise self.error(f"unexpected token {token.text!r} in expression")
+
+    def parse_call(self) -> ast.CallExpr:
+        name_token = self.expect(TokenKind.NAME, "call")
+        self.expect(TokenKind.LPAREN, "call")
+        args: List[ast.Expr] = []
+        if not self.at(TokenKind.RPAREN):
+            args.append(self.parse_expr())
+            while self.at(TokenKind.COMMA):
+                self.advance()
+                args.append(self.parse_expr())
+        self.expect(TokenKind.RPAREN, "call")
+        return ast.CallExpr(name=name_token.text, args=args,
+                            line=name_token.line)
+
+
+def parse_program(source: str, check: bool = True) -> ast.Program:
+    """Parse MiniC source text into a :class:`~repro.lang.ast.Program`.
+
+    With ``check=True`` (the default) the program is also semantically
+    validated (scopes, arity, break placement).
+    """
+    program = _Parser(tokenize(source)).parse_program()
+    if check:
+        check_program(program)
+    return program

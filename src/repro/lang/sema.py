@@ -1,0 +1,164 @@
+"""Semantic checks for MiniC programs.
+
+MiniC uses function-level scoping (like C89 after hoisting): every
+``var`` declaration in a procedure introduces one function-scoped local,
+visible in the whole body.  Locals may shadow globals.  The checks here
+are the ones lowering relies on:
+
+- no duplicate procedure names, globals, parameters, or locals;
+- every referenced variable is a parameter, local, or global;
+- every called procedure exists and is called with the right arity;
+- ``break``/``continue`` appear only inside loops;
+- a procedure named ``main`` exists and takes no parameters.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Set
+
+from repro.errors import SemanticError
+from repro.lang import ast
+
+ENTRY_PROC = "main"
+
+
+def collect_locals(proc: ast.ProcDef) -> List[str]:
+    """All ``var`` names declared anywhere in ``proc`` (document order)."""
+    names: List[str] = []
+
+    def walk(stmts: List[ast.Stmt]) -> None:
+        for stmt in stmts:
+            if isinstance(stmt, ast.VarDecl):
+                names.append(stmt.name)
+            elif isinstance(stmt, ast.If):
+                walk(stmt.then_body)
+                walk(stmt.else_body)
+            elif isinstance(stmt, ast.While):
+                walk(stmt.body)
+
+    walk(proc.body)
+    return names
+
+
+class _ProcChecker:
+    def __init__(self, proc: ast.ProcDef, globals_: Set[str],
+                 arities: Dict[str, int]) -> None:
+        self.proc = proc
+        self.globals = globals_
+        self.arities = arities
+        self.visible: Set[str] = set(proc.params)
+        self.declared_locals: Set[str] = set()
+
+    def fail(self, message: str, line: int) -> None:
+        raise SemanticError(f"{self.proc.name}: line {line}: {message}")
+
+    def check(self) -> None:
+        seen_params: Set[str] = set()
+        for param in self.proc.params:
+            if param in seen_params:
+                self.fail(f"duplicate parameter {param!r}", self.proc.line)
+            seen_params.add(param)
+        # Pre-scan declarations so function-level scoping holds even for
+        # uses that textually precede the declaration inside a branch.
+        for name in collect_locals(self.proc):
+            if name in self.declared_locals or name in seen_params:
+                self.fail(f"duplicate local {name!r}", self.proc.line)
+            self.declared_locals.add(name)
+        self.visible |= self.declared_locals
+        self.check_stmts(self.proc.body, in_loop=False)
+
+    def check_stmts(self, stmts: List[ast.Stmt], in_loop: bool) -> None:
+        for stmt in stmts:
+            self.check_stmt(stmt, in_loop)
+
+    def check_stmt(self, stmt: ast.Stmt, in_loop: bool) -> None:
+        if isinstance(stmt, ast.VarDecl):
+            if stmt.init is not None:
+                self.check_expr(stmt.init)
+        elif isinstance(stmt, ast.Assign):
+            self.check_var(stmt.name, stmt.line)
+            self.check_expr(stmt.value)
+        elif isinstance(stmt, ast.CallStmt):
+            self.check_expr(stmt.call)
+        elif isinstance(stmt, ast.If):
+            self.check_expr(stmt.cond)
+            self.check_stmts(stmt.then_body, in_loop)
+            self.check_stmts(stmt.else_body, in_loop)
+        elif isinstance(stmt, ast.While):
+            self.check_expr(stmt.cond)
+            self.check_stmts(stmt.body, in_loop=True)
+        elif isinstance(stmt, ast.Return):
+            if stmt.value is not None:
+                self.check_expr(stmt.value)
+        elif isinstance(stmt, ast.Print):
+            self.check_expr(stmt.value)
+        elif isinstance(stmt, ast.StoreStmt):
+            self.check_expr(stmt.address)
+            self.check_expr(stmt.value)
+        elif isinstance(stmt, (ast.Break, ast.Continue)):
+            if not in_loop:
+                kind = "break" if isinstance(stmt, ast.Break) else "continue"
+                self.fail(f"{kind!r} outside of a loop", stmt.line)
+        else:
+            self.fail(f"unknown statement {type(stmt).__name__}", stmt.line)
+
+    def check_var(self, name: str, line: int) -> None:
+        if name not in self.visible and name not in self.globals:
+            self.fail(f"undeclared variable {name!r}", line)
+
+    def check_expr(self, expr: ast.Expr) -> None:
+        if isinstance(expr, ast.IntLit):
+            return
+        if isinstance(expr, ast.VarRef):
+            self.check_var(expr.name, expr.line)
+        elif isinstance(expr, ast.Unary):
+            self.check_expr(expr.operand)
+        elif isinstance(expr, ast.Binary):
+            self.check_expr(expr.left)
+            self.check_expr(expr.right)
+        elif isinstance(expr, ast.UnsignedCast):
+            self.check_expr(expr.operand)
+        elif isinstance(expr, ast.CallExpr):
+            if expr.name not in self.arities:
+                self.fail(f"call to undefined procedure {expr.name!r}",
+                          expr.line)
+            expected = self.arities[expr.name]
+            if len(expr.args) != expected:
+                self.fail(
+                    f"procedure {expr.name!r} expects {expected} argument(s), "
+                    f"got {len(expr.args)}", expr.line)
+            for arg in expr.args:
+                self.check_expr(arg)
+        elif isinstance(expr, ast.InputExpr):
+            return
+        elif isinstance(expr, ast.AllocExpr):
+            self.check_expr(expr.size)
+        elif isinstance(expr, ast.LoadExpr):
+            self.check_expr(expr.address)
+        else:
+            self.fail(f"unknown expression {type(expr).__name__}", expr.line)
+
+
+def check_program(program: ast.Program) -> None:
+    """Validate ``program``; raise :class:`SemanticError` on the first fault."""
+    globals_: Set[str] = set()
+    for decl in program.globals:
+        if decl.name in globals_:
+            raise SemanticError(
+                f"line {decl.line}: duplicate global {decl.name!r}")
+        globals_.add(decl.name)
+
+    arities: Dict[str, int] = {}
+    for proc in program.procs:
+        if proc.name in arities:
+            raise SemanticError(
+                f"line {proc.line}: duplicate procedure {proc.name!r}")
+        arities[proc.name] = len(proc.params)
+
+    if ENTRY_PROC not in arities:
+        raise SemanticError(f"program has no {ENTRY_PROC!r} procedure")
+    if arities[ENTRY_PROC] != 0:
+        raise SemanticError(f"{ENTRY_PROC!r} must take no parameters")
+
+    for proc in program.procs:
+        _ProcChecker(proc, globals_, arities).check()

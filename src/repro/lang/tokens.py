@@ -1,0 +1,96 @@
+"""Token definitions for the MiniC scanner."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from enum import Enum, unique
+
+
+@unique
+class TokenKind(Enum):
+    """Every lexical category MiniC distinguishes."""
+
+    # Literals and names.
+    INT = "int"
+    NAME = "name"
+
+    # Keywords.
+    PROC = "proc"
+    GLOBAL = "global"
+    VAR = "var"
+    IF = "if"
+    ELSE = "else"
+    WHILE = "while"
+    RETURN = "return"
+    PRINT = "print"
+    INPUT = "input"
+    ALLOC = "alloc"
+    LOAD = "load"
+    STORE = "store"
+    BREAK = "break"
+    CONTINUE = "continue"
+    UNSIGNED = "unsigned"
+
+    # Punctuation and operators.
+    LPAREN = "("
+    RPAREN = ")"
+    LBRACE = "{"
+    RBRACE = "}"
+    SEMI = ";"
+    COMMA = ","
+    ASSIGN = "="
+    EQ = "=="
+    NE = "!="
+    LT = "<"
+    LE = "<="
+    GT = ">"
+    GE = ">="
+    PLUS = "+"
+    MINUS = "-"
+    STAR = "*"
+    SLASH = "/"
+    PERCENT = "%"
+    NOT = "!"
+    AND = "&&"
+    OR = "||"
+
+    EOF = "<eof>"
+
+
+KEYWORDS = {
+    "proc": TokenKind.PROC,
+    "global": TokenKind.GLOBAL,
+    "var": TokenKind.VAR,
+    "if": TokenKind.IF,
+    "else": TokenKind.ELSE,
+    "while": TokenKind.WHILE,
+    "return": TokenKind.RETURN,
+    "print": TokenKind.PRINT,
+    "input": TokenKind.INPUT,
+    "alloc": TokenKind.ALLOC,
+    "load": TokenKind.LOAD,
+    "store": TokenKind.STORE,
+    "break": TokenKind.BREAK,
+    "continue": TokenKind.CONTINUE,
+    "unsigned": TokenKind.UNSIGNED,
+}
+
+
+@dataclass(frozen=True)
+class Token:
+    """One lexeme with its source position (1-based line/column)."""
+
+    kind: TokenKind
+    text: str
+    line: int
+    column: int
+
+    @property
+    def int_value(self) -> int:
+        """The numeric value of an INT token."""
+        if self.kind is not TokenKind.INT:
+            raise ValueError(f"not an integer token: {self!r}")
+        return int(self.text)
+
+    def __repr__(self) -> str:
+        return f"Token({self.kind.name}, {self.text!r}, {self.line}:{self.column})"

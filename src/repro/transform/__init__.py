@@ -1,0 +1,24 @@
+"""Code restructuring: path duplication and branch elimination (paper §3.2).
+
+The transformation isolates correlated paths by splitting every node
+that hosts multiple answers to a query, so that each copy hosts exactly
+one answer; copies of the analyzed conditional whose answer is known
+become empty nodes wired to the taken successor.  Because entry and
+exit nodes are ordinary ICFG nodes, the same splitting performs the
+paper's *entry splitting* and *exit splitting*; call-site exit nodes are
+rebuilt per (call copy, exit copy) pair, which keeps the graph in
+call-site normal form and regenerates the return maps (the "additional
+return addresses").
+
+The driver works on a clone of the input graph and verifies the result
+before committing, so a failed or rejected transformation never damages
+the program.
+"""
+
+from repro.transform.pipeline import (ICBEOptimizer, OptimizationReport,
+                                      OptimizerOptions)
+from repro.transform.restructure import (BranchOutcome, restructure_branch,
+                                         RestructureResult)
+
+__all__ = ["BranchOutcome", "ICBEOptimizer", "OptimizationReport",
+           "OptimizerOptions", "RestructureResult", "restructure_branch"]

@@ -1,0 +1,47 @@
+"""Branch elimination proper (paper Fig. 8 lines 15-16).
+
+After splitting, each copy of the analyzed conditional hosts exactly one
+answer to the initial query.  Copies hosting TRUE or FALSE are fully
+redundant: the copy is changed into an empty node and only the edge to
+the taken successor survives.  Copies hosting UNDEF remain real
+conditionals.
+"""
+
+from __future__ import annotations
+
+from typing import List, Tuple
+
+from repro.analysis.answers import Answer
+from repro.ir.icfg import EdgeKind, ICFG
+from repro.ir.nodes import BranchNode, Node, NopNode
+
+
+def eliminate_known_copies(icfg: ICFG,
+                           branch_copies: List[Tuple[Node, Answer]]) -> int:
+    """Replace decided branch copies with empty nodes; return how many."""
+    eliminated = 0
+    for copy, answer in branch_copies:
+        if not answer.is_known:
+            continue
+        if copy.id not in icfg.nodes:
+            continue  # already removed as unreachable
+        assert isinstance(copy, BranchNode)
+        taken_kind = EdgeKind.TRUE if answer.kind == "true" else EdgeKind.FALSE
+        taken_target = None
+        for edge in icfg.succ_edges(copy.id):
+            if edge.kind is taken_kind:
+                taken_target = edge.dst
+        if taken_target is None:
+            # The surviving arm was never wired (its paths are
+            # unreachable); leave the copy for unreachable-code removal.
+            continue
+        replacement = NopNode(icfg.new_id(), copy.proc,
+                              note=f"eliminated-branch-{copy.id}")
+        icfg.add_node(replacement)
+        for edge in list(icfg.pred_edges(copy.id)):
+            icfg.remove_edge(edge)
+            icfg.add_edge(edge.src, replacement.id, edge.kind)
+        icfg.add_edge(replacement.id, taken_target, EdgeKind.NORMAL)
+        icfg.remove_node(copy.id)
+        eliminated += 1
+    return eliminated

@@ -1,0 +1,174 @@
+"""The whole-program ICBE optimizer.
+
+Optimizes conditionals one by one, exactly as the paper does: for each
+conditional, run the demand-driven analysis, check the duplication
+bound against the per-conditional limit, and restructure when the gate
+passes (§4 "Eliminated Branches").  The analysis is re-run on the
+current (possibly already restructured) graph each time — the paper
+notes the analysis must work on restructured programs with multiple
+entries/exits, and ours does.
+
+Each conditional is optimized at most once.  Copies of an
+already-processed conditional created by later transformations inherit
+its processed status; copies of *unprocessed* conditionals are new
+conditionals in their own right and get their own turn.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Set
+
+from repro.analysis.config import AnalysisConfig
+from repro.interp.profile import Profile, RemappedProfile
+from repro.ir.icfg import ICFG
+from repro.ir.simplify import simplify_nops
+from repro.ir.verify import verify_icfg
+from repro.transform.restructure import (BranchOutcome, RestructureResult,
+                                         restructure_branch)
+
+
+@dataclass
+class OptimizerOptions:
+    """Optimizer-level knobs (the analysis has its own config)."""
+
+    config: AnalysisConfig = field(default_factory=AnalysisConfig)
+    #: Paper Fig. 11's per-conditional duplication limit N (None = ∞).
+    duplication_limit: Optional[int] = None
+    #: Overall safety cap: stop optimizing when the graph exceeds this
+    #: multiple of its original node count (None = uncapped).
+    max_growth_factor: Optional[float] = None
+    #: Compact forwarding/eliminated-branch nops after optimizing (the
+    #: paper notes eliminated conditionals become removable empty nodes).
+    simplify: bool = True
+    #: Profile-guided benefit gate (paper §4's "better heuristic"): skip
+    #: a conditional unless its estimated eliminated executions amount
+    #: to at least ``min_benefit_per_node`` per duplicated node.  Both
+    #: fields must be set for the gate to apply.
+    profile: Optional["Profile"] = None
+    min_benefit_per_node: Optional[float] = None
+
+
+@dataclass
+class BranchRecord:
+    """One conditional's trip through the optimizer."""
+
+    branch_id: int
+    outcome: BranchOutcome
+    duplication_bound: int = 0
+    node_growth: int = 0
+    eliminated_copies: int = 0
+    pairs_examined: int = 0
+    budget_exhausted: bool = False
+    failure: str = ""
+
+
+@dataclass
+class OptimizationReport:
+    """Summary of a whole-program optimization run."""
+
+    optimized: ICFG
+    records: List[BranchRecord] = field(default_factory=list)
+    nodes_before: int = 0
+    nodes_after: int = 0
+    executable_before: int = 0
+    executable_after: int = 0
+    conditionals_before: int = 0
+    conditionals_after: int = 0
+    elapsed_seconds: float = 0.0
+
+    @property
+    def optimized_count(self) -> int:
+        return sum(1 for r in self.records
+                   if r.outcome is BranchOutcome.OPTIMIZED)
+
+    @property
+    def node_growth(self) -> int:
+        return self.nodes_after - self.nodes_before
+
+    @property
+    def growth_percent(self) -> float:
+        if self.nodes_before == 0:
+            return 0.0
+        return 100.0 * self.node_growth / self.nodes_before
+
+    def total_pairs_examined(self) -> int:
+        return sum(r.pairs_examined for r in self.records)
+
+
+class ICBEOptimizer:
+    """Interprocedural (or, as the baseline, intraprocedural)
+    conditional branch elimination over a whole ICFG."""
+
+    def __init__(self, options: Optional[OptimizerOptions] = None) -> None:
+        self.options = options if options is not None else OptimizerOptions()
+
+    def optimize(self, icfg: ICFG) -> OptimizationReport:
+        """Optimize every analyzable conditional; the input is untouched."""
+        started = time.perf_counter()
+        current = icfg.clone()
+        report = OptimizationReport(
+            optimized=current,
+            nodes_before=icfg.node_count(),
+            executable_before=icfg.executable_node_count(),
+            conditionals_before=icfg.conditional_node_count())
+
+        done: Set[int] = set()
+        # copy id -> original id, composed across transformations, so
+        # the profile-guided benefit gate keeps working on copies.
+        origin: Dict[int, int] = {}
+        gate_profile = None
+        if self.options.profile is not None:
+            gate_profile = RemappedProfile(self.options.profile, origin)
+        growth_cap = None
+        if self.options.max_growth_factor is not None:
+            growth_cap = int(icfg.node_count()
+                             * self.options.max_growth_factor)
+
+        while True:
+            pending = [b.id for b in current.branch_nodes()
+                       if b.id not in done]
+            if not pending:
+                break
+            if growth_cap is not None and current.node_count() > growth_cap:
+                break
+            branch_id = pending[0]
+            done.add(branch_id)
+            result = restructure_branch(
+                current, branch_id, self.options.config,
+                self.options.duplication_limit,
+                profile=gate_profile,
+                min_benefit_per_node=self.options.min_benefit_per_node)
+            report.records.append(self._record(result))
+            if result.applied:
+                assert result.new_icfg is not None
+                current = result.new_icfg
+                for new_id, old_id in result.cloned_from.items():
+                    origin[new_id] = origin.get(old_id, old_id)
+                    if old_id in done:
+                        done.add(new_id)
+
+        if self.options.simplify:
+            simplify_nops(current)
+            verify_icfg(current)
+
+        report.optimized = current
+        report.nodes_after = current.node_count()
+        report.executable_after = current.executable_node_count()
+        report.conditionals_after = current.conditional_node_count()
+        report.elapsed_seconds = time.perf_counter() - started
+        return report
+
+    @staticmethod
+    def _record(result: RestructureResult) -> BranchRecord:
+        stats = result.analysis.stats if result.analysis is not None else None
+        return BranchRecord(
+            branch_id=result.branch_id,
+            outcome=result.outcome,
+            duplication_bound=result.duplication_bound,
+            node_growth=result.node_growth if result.applied else 0,
+            eliminated_copies=result.eliminated_copies,
+            pairs_examined=stats.pairs_examined if stats else 0,
+            budget_exhausted=stats.budget_exhausted if stats else False,
+            failure=result.failure)

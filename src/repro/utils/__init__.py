@@ -1,0 +1,8 @@
+"""Small shared utilities: id allocation, worklists, table rendering."""
+
+from repro.utils.ids import IdAllocator
+from repro.utils.ordered import OrderedSet
+from repro.utils.tables import render_table
+from repro.utils.worklist import Worklist
+
+__all__ = ["IdAllocator", "OrderedSet", "Worklist", "render_table"]

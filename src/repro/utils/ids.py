@@ -1,0 +1,36 @@
+"""Monotonic integer id allocation.
+
+Node ids must be unique for the lifetime of an ICFG even across node
+splitting and deletion, so each graph owns one allocator and never reuses
+an id.  Determinism matters: analysis worklists and restructuring order
+iterate structures keyed by id, and tests compare dumps textually.
+"""
+
+from __future__ import annotations
+
+
+class IdAllocator:
+    """Hands out consecutive integers starting at ``start``."""
+
+    def __init__(self, start: int = 0) -> None:
+        self._next = start
+
+    def allocate(self) -> int:
+        """Return a fresh id, never returned before by this allocator."""
+        value = self._next
+        self._next += 1
+        return value
+
+    def reserve_through(self, used: int) -> None:
+        """Make sure no future id collides with ``used`` or anything below."""
+        if used >= self._next:
+            self._next = used + 1
+
+    @property
+    def next_id(self) -> int:
+        """The id the next :meth:`allocate` call would return."""
+        return self._next
+
+    def clone(self) -> "IdAllocator":
+        """An independent allocator continuing from the same point."""
+        return IdAllocator(self._next)

@@ -1,0 +1,75 @@
+"""A set with deterministic (insertion) iteration order.
+
+Python sets iterate in hash order, which varies between runs for
+stringy keys.  The analysis and the restructuring both iterate over sets
+of nodes/queries, and we want bit-identical output across runs, so every
+set that is ever iterated is an :class:`OrderedSet`.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Generic, Hashable, Iterable, Iterator, Optional, TypeVar
+
+T = TypeVar("T", bound=Hashable)
+
+
+class OrderedSet(Generic[T]):
+    """Insertion-ordered set backed by a dict (dicts preserve order)."""
+
+    __slots__ = ("_items",)
+
+    def __init__(self, items: Optional[Iterable[T]] = None) -> None:
+        self._items: Dict[T, None] = {}
+        if items is not None:
+            for item in items:
+                self._items[item] = None
+
+    def add(self, item: T) -> bool:
+        """Insert ``item``; return True if it was not already present."""
+        if item in self._items:
+            return False
+        self._items[item] = None
+        return True
+
+    def discard(self, item: T) -> None:
+        self._items.pop(item, None)
+
+    def remove(self, item: T) -> None:
+        del self._items[item]
+
+    def update(self, items: Iterable[T]) -> None:
+        for item in items:
+            self._items[item] = None
+
+    def pop_first(self) -> T:
+        """Remove and return the oldest element (FIFO discipline)."""
+        item = next(iter(self._items))
+        del self._items[item]
+        return item
+
+    def copy(self) -> "OrderedSet[T]":
+        fresh: OrderedSet[T] = OrderedSet()
+        fresh._items = dict(self._items)
+        return fresh
+
+    def __contains__(self, item: object) -> bool:
+        return item in self._items
+
+    def __iter__(self) -> Iterator[T]:
+        return iter(self._items)
+
+    def __len__(self) -> int:
+        return len(self._items)
+
+    def __bool__(self) -> bool:
+        return bool(self._items)
+
+    def __eq__(self, other: object) -> bool:
+        if isinstance(other, OrderedSet):
+            return set(self._items) == set(other._items)
+        if isinstance(other, (set, frozenset)):
+            return set(self._items) == other
+        return NotImplemented
+
+    def __repr__(self) -> str:
+        return f"OrderedSet({list(self._items)!r})"

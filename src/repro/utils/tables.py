@@ -1,0 +1,77 @@
+"""Plain-text table rendering for the experiment harness.
+
+The paper reports its evaluation as tables and figure series; the
+harness prints them in a monospace layout so ``EXPERIMENTS.md`` and the
+benchmark logs stay readable without plotting dependencies.
+"""
+
+from __future__ import annotations
+
+from typing import List, Sequence, Union
+
+Cell = Union[str, int, float, None]
+
+
+def _format_cell(cell: Cell) -> str:
+    if cell is None:
+        return "-"
+    if isinstance(cell, float):
+        return f"{cell:.2f}"
+    return str(cell)
+
+
+def render_table(headers: Sequence[str], rows: Sequence[Sequence[Cell]],
+                 title: str = "") -> str:
+    """Render an aligned ASCII table.
+
+    Numeric columns are right-aligned, text columns left-aligned; the
+    alignment of a column follows its first body cell.
+    """
+    text_rows: List[List[str]] = [[_format_cell(c) for c in row] for row in rows]
+    ncols = len(headers)
+    for row in text_rows:
+        if len(row) != ncols:
+            raise ValueError(
+                f"row has {len(row)} cells, expected {ncols}: {row!r}")
+
+    widths = [len(h) for h in headers]
+    for row in text_rows:
+        for i, cell in enumerate(row):
+            widths[i] = max(widths[i], len(cell))
+
+    right_align = []
+    for i in range(ncols):
+        sample: Cell = rows[0][i] if rows else ""
+        right_align.append(isinstance(sample, (int, float)))
+
+    def fmt_line(cells: Sequence[str]) -> str:
+        parts = []
+        for i, cell in enumerate(cells):
+            if right_align[i]:
+                parts.append(cell.rjust(widths[i]))
+            else:
+                parts.append(cell.ljust(widths[i]))
+        return "| " + " | ".join(parts) + " |"
+
+    sep = "+" + "+".join("-" * (w + 2) for w in widths) + "+"
+    lines = []
+    if title:
+        lines.append(title)
+    lines.append(sep)
+    lines.append(fmt_line(list(headers)))
+    lines.append(sep)
+    for row in text_rows:
+        lines.append(fmt_line(row))
+    lines.append(sep)
+    return "\n".join(lines)
+
+
+def render_markdown_table(headers: Sequence[str],
+                          rows: Sequence[Sequence[Cell]]) -> str:
+    """Render the same data as a GitHub-flavoured markdown table."""
+    text_rows = [[_format_cell(c) for c in row] for row in rows]
+    lines = ["| " + " | ".join(headers) + " |",
+             "|" + "|".join("---" for _ in headers) + "|"]
+    for row in text_rows:
+        lines.append("| " + " | ".join(row) + " |")
+    return "\n".join(lines)

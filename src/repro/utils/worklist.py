@@ -1,0 +1,57 @@
+"""FIFO worklist with duplicate suppression.
+
+Both the correlation analysis (paper Fig. 4) and the restructuring
+(paper Fig. 8) are worklist algorithms.  This worklist deduplicates
+pending items: re-adding an item that is already queued is a no-op, but
+an item may be re-queued after it has been removed (restructuring needs
+that; the analysis adds each pair at most once via its own ``Q[n]`` set).
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Deque, Generic, Hashable, Iterable, Optional, Set, TypeVar
+
+T = TypeVar("T", bound=Hashable)
+
+
+class Worklist(Generic[T]):
+    """FIFO queue; items currently queued are never queued twice."""
+
+    __slots__ = ("_queue", "_queued", "_total_pushed")
+
+    def __init__(self, items: Optional[Iterable[T]] = None) -> None:
+        self._queue: Deque[T] = deque()
+        self._queued: Set[T] = set()
+        self._total_pushed = 0
+        if items is not None:
+            for item in items:
+                self.push(item)
+
+    def push(self, item: T) -> bool:
+        """Queue ``item`` unless it is already pending; report whether queued."""
+        if item in self._queued:
+            return False
+        self._queue.append(item)
+        self._queued.add(item)
+        self._total_pushed += 1
+        return True
+
+    def pop(self) -> T:
+        item = self._queue.popleft()
+        self._queued.discard(item)
+        return item
+
+    @property
+    def total_pushed(self) -> int:
+        """How many distinct pushes succeeded over the worklist's lifetime."""
+        return self._total_pushed
+
+    def __len__(self) -> int:
+        return len(self._queue)
+
+    def __bool__(self) -> bool:
+        return bool(self._queue)
+
+    def __contains__(self, item: object) -> bool:
+        return item in self._queued

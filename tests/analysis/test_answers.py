@@ -1,0 +1,38 @@
+from repro.analysis.answers import (FALSE, TRUE, UNDEF, format_answers,
+                                    from_bool, sorted_answers, trans)
+from repro.analysis.query import Query
+from repro.ir.expr import VarId
+from repro.ir.ops import RelOp
+
+
+def test_known_classification():
+    assert TRUE.is_known and FALSE.is_known
+    assert not UNDEF.is_known
+    query = Query(VarId.global_("g"), RelOp.EQ, 0)
+    assert not trans(1, query).is_known
+
+
+def test_from_bool():
+    assert from_bool(True) is TRUE
+    assert from_bool(False) is FALSE
+
+
+def test_trans_identity_includes_entry_and_variant():
+    q1 = Query(VarId.global_("g"), RelOp.EQ, 0)
+    q2 = Query(VarId.global_("h"), RelOp.EQ, 0)
+    assert trans(1, q1) == trans(1, q1)
+    assert trans(1, q1) != trans(2, q1)
+    assert trans(1, q1) != trans(1, q2)
+
+
+def test_sorted_answers_is_stable_total_order():
+    q = Query(VarId.global_("g"), RelOp.EQ, 0)
+    answers = [trans(3, q), UNDEF, FALSE, TRUE]
+    ordered = sorted_answers(answers)
+    assert ordered[:3] == [TRUE, FALSE, UNDEF]
+    assert ordered[3].is_trans
+
+
+def test_format_answers():
+    text = format_answers({TRUE, UNDEF})
+    assert text == "{TRUE, UNDEF}"

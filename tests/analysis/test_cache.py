@@ -1,0 +1,85 @@
+"""The query cache across conditionals (paper §3.3)."""
+
+from tests.helpers import build
+
+from repro.analysis import AnalysisConfig, analyze_branch
+from repro.analysis.engine import CorrelationEngine
+
+CONFIG = AnalysisConfig(budget=100_000)
+
+SOURCE = """
+    global err = 0;
+    proc may_fail(v) {
+        if (v < 0) { err = 1; return 0; }
+        err = 0;
+        return v;
+    }
+    proc main() {
+        var a = may_fail(input());
+        if (err == 1) { print 1; }
+        var b = may_fail(input());
+        if (err == 1) { print 2; }
+        if (err == 0) { print 3; }
+    }
+"""
+
+
+def test_shared_engine_produces_identical_answers():
+    icfg = build(SOURCE)
+    branches = [b.id for b in icfg.branch_nodes()]
+    fresh = {bid: analyze_branch(icfg, bid, CONFIG).branch_answers
+             for bid in branches}
+    shared_engine = CorrelationEngine(icfg, CONFIG)
+    shared = {bid: analyze_branch(icfg, bid, CONFIG,
+                                  engine=shared_engine).branch_answers
+              for bid in branches}
+    assert fresh == shared
+
+
+def test_cache_reduces_pairs_examined():
+    icfg = build(SOURCE)
+    branches = [b.id for b in icfg.branch_nodes()]
+    fresh_pairs = sum(
+        analyze_branch(icfg, bid, CONFIG).stats.pairs_examined
+        for bid in branches)
+    shared_engine = CorrelationEngine(icfg, CONFIG)
+    shared_pairs = 0
+    hits = 0
+    for bid in branches:
+        result = analyze_branch(icfg, bid, CONFIG, engine=shared_engine)
+        shared_pairs += result.stats.pairs_examined
+        hits += result.stats.cache_hits
+    assert shared_pairs < fresh_pairs
+    assert hits > 0
+
+
+def test_cache_memory_grows_with_coverage():
+    """The paper's downside: the cache accumulates every query ever
+    raised (memory), while fresh engines stay per-conditional."""
+    icfg = build(SOURCE)
+    branches = [b.id for b in icfg.branch_nodes()]
+    shared_engine = CorrelationEngine(icfg, CONFIG)
+    sizes = []
+    for bid in branches:
+        analyze_branch(icfg, bid, CONFIG, engine=shared_engine)
+        sizes.append(sum(len(qs) for qs in shared_engine.raised.values()))
+    assert sizes == sorted(sizes)  # monotone growth
+    assert sizes[-1] > sizes[0]
+
+
+def test_cache_recovers_budget_truncated_pairs():
+    icfg = build(SOURCE)
+    branches = [b.id for b in icfg.branch_nodes()]
+    tiny = AnalysisConfig(budget=3)
+    engine = CorrelationEngine(icfg, tiny)
+    first = analyze_branch(icfg, branches[0], tiny, engine=engine)
+    assert first.stats.budget_exhausted
+    # Re-analyzing the same branch continues where the budget stopped.
+    second = analyze_branch(icfg, branches[0], tiny, engine=engine)
+    third = analyze_branch(icfg, branches[0], tiny, engine=engine)
+    exhaustive = analyze_branch(icfg, branches[0], CONFIG)
+    for _ in range(50):
+        again = analyze_branch(icfg, branches[0], tiny, engine=engine)
+        if not again.stats.budget_exhausted:
+            break
+    assert again.branch_answers == exhaustive.branch_answers

@@ -1,0 +1,35 @@
+from repro.analysis.config import (ALL_SOURCES, AnalysisConfig,
+                                   CorrelationSource, DEFAULT_BUDGET,
+                                   PAPER_SOURCES)
+
+
+def test_default_config_enables_everything():
+    config = AnalysisConfig()
+    assert config.interprocedural
+    assert config.budget == DEFAULT_BUDGET
+    assert config.sources == ALL_SOURCES
+    assert config.copy_substitution
+    assert not config.offset_substitution  # paper-faithful default
+
+
+def test_paper_implementation_preset():
+    config = AnalysisConfig.paper_implementation()
+    assert config.sources == PAPER_SOURCES
+    assert config.has(CorrelationSource.CONSTANT_ASSIGNMENT)
+    assert config.has(CorrelationSource.BRANCH_ASSERTION)
+    assert not config.has(CorrelationSource.POINTER_DEREFERENCE)
+    assert not config.has(CorrelationSource.UNSIGNED_CONVERSION)
+
+
+def test_mode_presets():
+    assert AnalysisConfig.interprocedural_default().interprocedural
+    assert not AnalysisConfig.intraprocedural_default().interprocedural
+    assert AnalysisConfig.intraprocedural_default(budget=7).budget == 7
+
+
+def test_config_is_immutable():
+    import dataclasses
+    import pytest
+    config = AnalysisConfig()
+    with pytest.raises(dataclasses.FrozenInstanceError):
+        config.budget = 5

@@ -1,0 +1,99 @@
+from tests.helpers import build
+
+from repro.analysis import AnalysisConfig, analyze_branch
+from repro.analysis.cost import (duplication_upper_bound,
+                                 eliminated_executions_estimate)
+from repro.interp import Workload, run_icfg
+from repro.ir.nodes import BranchNode
+
+CONFIG = AnalysisConfig(budget=100000)
+
+
+def analyzed(source, fragment):
+    icfg = build(source)
+    import re
+    branches = [n for n in icfg.iter_nodes() if isinstance(n, BranchNode)
+                and fragment in re.sub(r"\w+::", "", n.label())]
+    assert branches, fragment
+    result = analyze_branch(icfg, branches[0].id, CONFIG)
+    return icfg, result
+
+
+def test_fully_resolved_single_path_needs_no_duplication():
+    icfg, result = analyzed("""
+        proc main() {
+            var x = 1;
+            if (x == 1) { print 1; }
+        }
+    """, "x == 1")
+    assert result.fully_correlated
+    assert duplication_upper_bound(result) == 0
+
+
+def test_merge_requires_duplication():
+    icfg, result = analyzed("""
+        proc main() {
+            var c = input();
+            var x = 0;
+            if (c > 0) { x = 1; }
+            print c;
+            if (x == 1) { print 1; }
+        }
+    """, "x == 1")
+    # The nodes between the merge point and the test host two answers.
+    assert duplication_upper_bound(result) >= 2
+
+
+def test_unanalyzable_branch_has_zero_bound():
+    icfg, result = analyzed("""
+        proc main() {
+            var a = input(); var b = input();
+            if (a == b) { print 1; }
+        }
+    """, "a == b")
+    assert duplication_upper_bound(result) == 0
+    assert eliminated_executions_estimate(
+        result, run_icfg(icfg, Workload([1, 2])).profile) == 0
+
+
+def test_benefit_estimate_tracks_resolution_site_frequency():
+    source = """
+        proc classify(v) {
+            if (v <= 0) { return -1; }
+            return (unsigned) v;
+        }
+        proc main() {
+            var i = 0;
+            while (i < 10) {
+                var r = classify(input());
+                if (r == -1) { print 0; } else { print r; }
+                i = i + 1;
+            }
+        }
+    """
+    icfg, result = analyzed(source, "r == -1")
+    profile = run_icfg(icfg, Workload([3, -1] * 5)).profile
+    estimate = eliminated_executions_estimate(result, profile)
+    executed = profile.branch_executions(result.branch_id)
+    assert executed == 10
+    # Fully correlated through the callee: the estimate should claim
+    # (close to) every execution, and never more than were executed.
+    assert 0 < estimate <= executed
+    assert estimate >= executed // 2
+
+
+def test_benefit_estimate_capped_by_branch_executions():
+    source = """
+        proc main() {
+            var x = 5;
+            var i = 0;
+            while (i < 3) {
+                if (x == 5) { print 1; }
+                i = i + 1;
+            }
+        }
+    """
+    icfg, result = analyzed(source, "x == 5")
+    profile = run_icfg(icfg, Workload([])).profile
+    estimate = eliminated_executions_estimate(result, profile)
+    assert estimate <= profile.branch_executions(result.branch_id)

@@ -1,0 +1,180 @@
+"""White-box tests of the analysis engine's bookkeeping: dispositions,
+summary-node entries, TRANS records, and continuation tables."""
+
+from tests.helpers import build
+
+from repro.analysis import AnalysisConfig
+from repro.analysis.driver import analyze_branch
+from repro.analysis.engine import (CallExitDisposition, DecidedDisposition,
+                                   PerEdgeDisposition)
+from repro.ir.nodes import BranchNode, CallExitNode, EntryNode
+
+CONFIG = AnalysisConfig(budget=100_000)
+
+
+def analyze(source, fragment):
+    icfg = build(source)
+    import re
+    branch = [n for n in icfg.iter_nodes() if isinstance(n, BranchNode)
+              and fragment in re.sub(r"\w+::", "", n.label())][0]
+    result = analyze_branch(icfg, branch.id, CONFIG)
+    return icfg, result
+
+
+GLOBAL_FLAG = """
+    global err = 0;
+    proc may_fail(v) {
+        if (v < 0) { err = 1; return 0; }
+        err = 0;
+        return v;
+    }
+    proc main() {
+        var r = may_fail(input());
+        if (err == 1) { print -1; }
+    }
+"""
+
+
+def test_call_exit_gets_summary_disposition():
+    icfg, result = analyze(GLOBAL_FLAG, "err == 1")
+    engine = result.engine
+    call_exits = [n.id for n in icfg.iter_nodes()
+                  if isinstance(n, CallExitNode)]
+    summary_dispositions = [
+        d for (nid, _q), d in engine.dispositions.items()
+        if nid in call_exits and isinstance(d, CallExitDisposition)
+        and d.summary_query is not None]
+    assert summary_dispositions, "the global query must use a summary"
+    disposition = summary_dispositions[0]
+    assert disposition.exit_id in icfg.procs["may_fail"].exits
+    assert disposition.summary_query.is_summary
+    assert disposition.outer_tag is None
+
+
+def test_summary_query_confined_to_callee():
+    icfg, result = analyze(GLOBAL_FLAG, "err == 1")
+    engine = result.engine
+    for node_id, queries in engine.raised.items():
+        node = icfg.nodes[node_id]
+        for query in queries:
+            if query.is_summary:
+                exit_node = icfg.nodes[query.summary_exit]
+                assert node.proc == exit_node.proc, (
+                    f"summary query {query} leaked into {node.proc}")
+
+
+def test_no_trans_for_flag_setter():
+    # may_fail writes err on every path, so no transparent path exists
+    # and no continuation is raised at the call node.
+    icfg, result = analyze(GLOBAL_FLAG, "err == 1")
+    assert result.engine.cont_table == {}
+
+
+def test_transparent_callee_populates_cont_table():
+    source = """
+        global g = 0;
+        proc noop(v) { return v; }
+        proc main() {
+            g = 2;
+            var r = noop(5);
+            if (g == 2) { print 1; }
+        }
+    """
+    icfg, result = analyze(source, "g == 2")
+    engine = result.engine
+    assert len(engine.cont_table) == 1
+    (call_id, variant, outer_tag), continuation = \
+        next(iter(engine.cont_table.items()))
+    assert outer_tag is None
+    assert variant.var.is_global
+    # The continuation is the plain query raised at the call node.
+    from repro.analysis.query import Query
+    assert isinstance(continuation, Query)
+    assert not continuation.is_summary
+    assert (call_id, continuation) in engine.dispositions
+
+
+def test_entry_disposition_covers_every_call_site():
+    source = """
+        proc f(p) {
+            if (p > 0) { print 1; }
+            return 0;
+        }
+        proc main() {
+            var a = f(1);
+            var b = f(input());
+            var c = f(-2);
+        }
+    """
+    icfg, result = analyze(source, "p > 0")
+    engine = result.engine
+    entry_id = icfg.procs["f"].entries[0]
+    hosted = list(engine.raised[entry_id])
+    assert len(hosted) == 1
+    disposition = engine.dispositions[(entry_id, hosted[0])]
+    assert isinstance(disposition, PerEdgeDisposition)
+    assert len(disposition.contribs) == 3  # one per call site
+    # Constant arguments resolve on the CALL edge itself; the input()
+    # argument is hoisted to a temp, so that edge carries a rewritten
+    # query on the caller's temp instead.
+    edge_answers = sorted(c.answer.kind for c in disposition.contribs
+                          if c.answer is not None)
+    assert edge_answers == ["false", "true"]
+    forwarded = [c.pred_query for c in disposition.contribs
+                 if c.pred_query is not None]
+    assert len(forwarded) == 1
+    assert forwarded[0].var.scope == "main"
+    # And rollback merges all three into the branch's answers.
+    kinds = {a.kind for a in result.branch_answers}
+    assert kinds == {"true", "false", "undef"}
+
+
+def test_decided_disposition_for_constant_assignment():
+    source = """
+        proc main() {
+            var x = 3;
+            if (x == 3) { print 1; }
+        }
+    """
+    icfg, result = analyze(source, "x == 3")
+    engine = result.engine
+    decided = [d for d in engine.dispositions.values()
+               if isinstance(d, DecidedDisposition) and d.answer.is_known]
+    assert len(decided) == 1
+    assert decided[0].answer.kind == "true"
+
+
+def test_same_summary_reused_across_call_sites_of_same_exit():
+    source = """
+        global g = 0;
+        proc setg(v) { g = 7; return v; }
+        proc main() {
+            var a = setg(1);
+            if (g == 7) { print 1; }
+            var b = setg(2);
+            if (g == 7) { print 2; }
+        }
+    """
+    icfg = build(source)
+    import re
+    branches = [n for n in icfg.iter_nodes() if isinstance(n, BranchNode)
+                and "g == 7" in re.sub(r"\w+::", "", n.label())]
+    result = analyze_branch(icfg, branches[0].id, CONFIG)
+    # One summary entry suffices (there is one exit and one relation).
+    assert result.stats.summary_entries_created == 1
+
+
+def test_entry_of_main_resolves_against_global_initializers():
+    source = """
+        global mode = 4;
+        proc main() {
+            if (mode == 4) { print 1; }
+        }
+    """
+    icfg, result = analyze(source, "mode == 4")
+    engine = result.engine
+    entry_id = icfg.procs["main"].entries[0]
+    hosted = list(engine.raised[entry_id])
+    disposition = engine.dispositions[(entry_id, hosted[0])]
+    assert isinstance(disposition, DecidedDisposition)
+    assert disposition.answer.kind == "true"

@@ -1,0 +1,137 @@
+import pytest
+
+from repro.analysis.facts import ValueSet, decide
+from repro.ir.ops import RelOp
+
+
+def brute_set(value_set, lo=-20, hi=20):
+    return {v for v in range(lo, hi + 1) if value_set.contains(v)}
+
+
+def test_from_relop_matches_semantics():
+    for relop in RelOp:
+        for const in (-2, 0, 3):
+            vs = ValueSet.from_relop(relop, const)
+            for v in range(-10, 10):
+                assert vs.contains(v) == relop.evaluate(v, const)
+
+
+def test_constructors():
+    assert ValueSet.singleton(5).contains(5)
+    assert not ValueSet.singleton(5).contains(4)
+    assert ValueSet.nonzero().contains(-7)
+    assert not ValueSet.nonzero().contains(0)
+    assert ValueSet.unsigned_range().contains(0)
+    assert ValueSet.unsigned_range().contains(255)
+    assert not ValueSet.unsigned_range().contains(256)
+    assert not ValueSet.unsigned_range().contains(-1)
+
+
+def test_empty_interval_rejected():
+    with pytest.raises(ValueError):
+        ValueSet(3, 2)
+
+
+def test_moot_exclusion_normalized_away():
+    assert ValueSet(0, 5, exclude=9) == ValueSet(0, 5)
+
+
+def test_subset_basic_intervals():
+    assert ValueSet(1, 3).is_subset_of(ValueSet(0, 5))
+    assert not ValueSet(0, 5).is_subset_of(ValueSet(1, 3))
+    assert ValueSet(lo=3).is_subset_of(ValueSet(lo=0))
+    assert not ValueSet(lo=0).is_subset_of(ValueSet(lo=3))
+
+
+def test_subset_with_exclusions():
+    # [0,5] \ {5} fits into [0,4].
+    assert ValueSet(0, 5, exclude=5).is_subset_of(ValueSet(0, 4))
+    # [0,5] \ {0} fits into [1,5].
+    assert ValueSet(0, 5, exclude=0).is_subset_of(ValueSet(1, 5))
+    # But [0,5] does not fit into [0,4].
+    assert not ValueSet(0, 5).is_subset_of(ValueSet(0, 4))
+    # Outer exclusion blocks containment when it is an element.
+    assert not ValueSet(0, 5).is_subset_of(ValueSet(0, 5, exclude=3))
+    assert ValueSet(0, 5, exclude=3).is_subset_of(ValueSet(0, 5, exclude=3))
+
+
+def test_copoint_subset_rules():
+    nonzero = ValueSet.nonzero()
+    assert nonzero.is_subset_of(ValueSet())            # Z\{0} ⊆ Z
+    assert nonzero.is_subset_of(nonzero)
+    assert not nonzero.is_subset_of(ValueSet(lo=1))    # negatives stick out
+    assert not ValueSet().is_subset_of(nonzero)
+
+
+def test_disjointness():
+    assert ValueSet(0, 3).is_disjoint_from(ValueSet(4, 9))
+    assert not ValueSet(0, 4).is_disjoint_from(ValueSet(4, 9))
+    assert ValueSet.singleton(0).is_disjoint_from(ValueSet.nonzero())
+    assert not ValueSet.nonzero().is_disjoint_from(ValueSet.nonzero())
+    # Width-2 intersection emptied by the two exclusions.
+    assert ValueSet(0, 1, exclude=0).is_disjoint_from(
+        ValueSet(0, 1, exclude=1))
+
+
+def test_subset_and_disjoint_against_brute_force():
+    samples = [
+        ValueSet(0, 0), ValueSet(-1, 1), ValueSet(0, 5, exclude=2),
+        ValueSet(lo=0), ValueSet(hi=-1), ValueSet.nonzero(),
+        ValueSet.everything_but(3), ValueSet(2, 2), ValueSet(),
+        ValueSet(lo=1, exclude=4), ValueSet(hi=5, exclude=0),
+    ]
+    for a in samples:
+        for b in samples:
+            sa, sb = brute_set(a), brute_set(b)
+            # Brute-force over a window: only check when the window is
+            # decisive (unbounded sides agree by construction of pairs).
+            if a.is_subset_of(b):
+                assert sa <= sb, f"{a} claimed subset of {b}"
+            if a.is_disjoint_from(b):
+                assert not (sa & sb), f"{a} claimed disjoint from {b}"
+
+
+def test_decide_true_false_none():
+    fact = ValueSet.unsigned_range()           # v in [0,255]
+    assert decide(fact, RelOp.GE, 0) is True
+    assert decide(fact, RelOp.LT, 0) is False
+    assert decide(fact, RelOp.EQ, 7) is None
+
+    deref = ValueSet.nonzero()
+    assert decide(deref, RelOp.NE, 0) is True
+    assert decide(deref, RelOp.EQ, 0) is False
+    assert decide(deref, RelOp.GT, 5) is None
+
+    const = ValueSet.singleton(-1)
+    assert decide(const, RelOp.EQ, -1) is True
+    assert decide(const, RelOp.NE, -1) is False
+    assert decide(const, RelOp.LT, 0) is True
+
+
+def test_decide_exhaustive_against_semantics():
+    facts = [ValueSet.singleton(2), ValueSet(0, 3), ValueSet.nonzero(),
+             ValueSet.at_least(1), ValueSet.at_most(-1),
+             ValueSet.everything_but(2)]
+    for fact in facts:
+        members = [v for v in range(-12, 13) if fact.contains(v)]
+        for relop in RelOp:
+            for const in (-2, 0, 2):
+                verdict = decide(fact, relop, const)
+                outcomes = {relop.evaluate(v, const) for v in members}
+                if verdict is True:
+                    assert outcomes == {True}
+                elif verdict is False:
+                    assert outcomes == {False}
+                # verdict None gives no guarantee either way.
+
+
+def test_size_if_small():
+    assert ValueSet(0, 3).size_if_small() == 4
+    assert ValueSet(0, 3, exclude=1).size_if_small() == 3
+    assert ValueSet(0, 99).size_if_small() is None
+    assert ValueSet(lo=0).size_if_small() is None
+
+
+def test_rendering():
+    assert str(ValueSet(0, 5, exclude=2)) == "[0, 5] \\ {2}"
+    assert str(ValueSet.nonzero()) == "[-inf, +inf] \\ {0}"

@@ -1,0 +1,72 @@
+from tests.helpers import build
+
+from repro.analysis.modref import (call_graph, direct_mod_sets,
+                                   transitive_mod_sets)
+from repro.ir.expr import VarId
+
+
+SOURCE = """
+global a = 0;
+global b = 0;
+global c = 0;
+
+proc leaf_writes_a() { a = 1; return 0; }
+proc middle() { var x = leaf_writes_a(); b = 2; return x; }
+proc reads_only() { return a + b; }
+proc binds_result() { c = reads_only(); return c; }
+proc main() {
+    var r = middle();
+    var s = binds_result();
+    print r + s;
+}
+"""
+
+A, B, C = (VarId.global_(n) for n in "abc")
+
+
+def test_direct_mod_sets():
+    mods = direct_mod_sets(build(SOURCE))
+    assert mods["leaf_writes_a"] == {A}
+    assert mods["middle"] == {B}
+    assert mods["reads_only"] == set()
+    assert mods["binds_result"] == {C}  # via the call-exit binding
+    assert mods["main"] == set()
+
+
+def test_call_graph_edges():
+    graph = call_graph(build(SOURCE))
+    assert graph["middle"] == {"leaf_writes_a"}
+    assert graph["binds_result"] == {"reads_only"}
+    assert graph["main"] == {"middle", "binds_result"}
+    assert graph["leaf_writes_a"] == set()
+
+
+def test_transitive_closure():
+    mods = transitive_mod_sets(build(SOURCE))
+    assert mods["middle"] == {A, B}
+    assert mods["binds_result"] == {C}
+    assert mods["main"] == {A, B, C}
+
+
+def test_recursion_reaches_fixpoint():
+    source = """
+        global g = 0;
+        proc ping(n) { if (n > 0) { var x = pong(n - 1); } return 0; }
+        proc pong(n) { g = n; if (n > 0) { var y = ping(n - 1); } return 0; }
+        proc main() { var r = ping(3); }
+    """
+    mods = transitive_mod_sets(build(source))
+    g = VarId.global_("g")
+    assert g in mods["ping"]
+    assert g in mods["pong"]
+    assert g in mods["main"]
+
+
+def test_local_assignments_do_not_count():
+    source = """
+        global g = 0;
+        proc pure(n) { var t = n * 2; return t; }
+        proc main() { print pure(2); }
+    """
+    mods = transitive_mod_sets(build(source))
+    assert mods["pure"] == set()

@@ -1,0 +1,105 @@
+from tests.helpers import build
+
+from repro.analysis import AnalysisConfig
+from repro.analysis.prediction import (baseline_predictions,
+                                       evaluate_predictor, predict_all,
+                                       predict_branch)
+from repro.interp import Workload, run_icfg
+
+CONFIG = AnalysisConfig(budget=50_000)
+
+
+def test_fully_correlated_single_outcome_is_certain():
+    icfg = build("""
+        proc main() {
+            var x = 1;
+            if (x == 1) { print 1; }
+        }
+    """)
+    branch = icfg.branch_nodes()[0]
+    prediction = predict_branch(icfg, branch.id, CONFIG)
+    assert prediction.taken is True
+    assert prediction.source == "correlation"
+    assert prediction.certain
+
+
+def test_partial_correlation_predicts_known_direction():
+    icfg = build("""
+        proc main() {
+            var c = input();
+            var x = 0;
+            if (c > 0) { x = 5; }
+            if (x == 3) { print 1; }
+        }
+    """)
+    # x is 0 or 5: never 3 on correlated paths -> predict not-taken.
+    branch = [b for b in icfg.branch_nodes() if "x == 3" in b.label()][0]
+    prediction = predict_branch(icfg, branch.id, CONFIG)
+    assert prediction.taken is False
+    assert prediction.source == "correlation"
+
+
+def test_uncorrelated_branch_falls_back_to_baseline():
+    icfg = build("""
+        proc main() {
+            var x = input();
+            if (x == 3) { print 1; }
+        }
+    """)
+    prediction = predict_branch(icfg, icfg.branch_nodes()[0].id, CONFIG)
+    assert prediction.source == "baseline"
+    assert not prediction.certain
+
+
+def test_certain_predictions_are_always_right():
+    source = """
+        proc classify(v) {
+            if (v <= 0) { return -1; }
+            return (unsigned) v;
+        }
+        proc main() {
+            var i = 0;
+            while (i < 6) {
+                var r = classify(input());
+                if (r >= -1) { print r; }
+                i = i + 1;
+            }
+        }
+    """
+    icfg = build(source)
+    profile = run_icfg(icfg, Workload([2, -3, 4, 0, 1, 7])).profile
+    for branch_id, prediction in predict_all(icfg, CONFIG).items():
+        if not prediction.certain:
+            continue
+        wrong = (profile.branch_false.get(branch_id, 0) if prediction.taken
+                 else profile.branch_true.get(branch_id, 0))
+        assert wrong == 0, f"certain prediction missed at {branch_id}"
+
+
+def test_correlation_hints_beat_baseline_on_suite_program():
+    from repro.benchgen.suite import load_benchmark
+    from repro.ir import lower_program
+    bench = load_benchmark("li_like")
+    icfg = lower_program(bench.program)
+    profile = run_icfg(icfg, bench.workload).profile
+
+    assisted = evaluate_predictor(predict_all(icfg, CONFIG), profile)
+    baseline = evaluate_predictor(baseline_predictions(icfg), profile)
+    assert assisted.executed == baseline.executed
+    assert assisted.accuracy >= baseline.accuracy
+    # Certain hints (outcome known on every path) are perfectly
+    # accurate by analysis soundness.
+    assert assisted.hint_executed > 0
+    assert assisted.hint_accuracy == 1.0
+
+
+def test_evaluate_skips_never_executed_branches():
+    icfg = build("""
+        proc main() {
+            var x = input();
+            if (x == 99999) { if (x == 1) { print 1; } }
+        }
+    """)
+    profile = run_icfg(icfg, Workload([0])).profile
+    score = evaluate_predictor(predict_all(icfg, CONFIG), profile)
+    assert score.executed == 1  # only the outer branch ran

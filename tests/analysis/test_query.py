@@ -1,0 +1,55 @@
+from repro.analysis.query import Query
+from repro.ir.expr import VarId
+from repro.ir.ops import RelOp
+
+
+X = VarId.local("f", "x")
+W = VarId.local("f", "w")
+
+
+def test_holds_for_concrete_values():
+    query = Query(X, RelOp.LT, 5)
+    assert query.holds_for(4)
+    assert not query.holds_for(5)
+
+
+def test_substitution_copy_keeps_constant():
+    query = Query(X, RelOp.EQ, 3)
+    assert query.substituted(W) == Query(W, RelOp.EQ, 3)
+
+
+def test_substitution_offset_adjusts_constant():
+    # Crossing x := w + 2 turns (x < 5) into (w < 3).
+    query = Query(X, RelOp.LT, 5)
+    assert query.substituted(W, 2) == Query(W, RelOp.LT, 3)
+
+
+def test_substitution_preserves_summary_tag():
+    query = Query(X, RelOp.EQ, 0, summary_exit=7)
+    assert query.substituted(W).summary_exit == 7
+
+
+def test_summary_tagging_roundtrip():
+    plain = Query(X, RelOp.NE, 0)
+    tagged = plain.as_summary(3)
+    assert tagged.is_summary and tagged.summary_exit == 3
+    assert tagged.as_plain() == plain
+    assert plain.as_plain() is plain
+
+
+def test_queries_are_value_hashable():
+    assert Query(X, RelOp.EQ, 1) == Query(X, RelOp.EQ, 1)
+    assert len({Query(X, RelOp.EQ, 1), Query(X, RelOp.EQ, 1)}) == 1
+    assert Query(X, RelOp.EQ, 1) != Query(X, RelOp.EQ, 1).as_summary(2)
+
+
+def test_sort_key_total_order():
+    queries = [Query(X, RelOp.EQ, 2), Query(W, RelOp.EQ, 1),
+               Query(X, RelOp.EQ, 1).as_summary(5), Query(X, RelOp.NE, 1)]
+    ordered = sorted(queries, key=Query.sort_key)
+    assert len(ordered) == 4
+
+
+def test_str_rendering():
+    assert str(Query(X, RelOp.LE, -1)) == "(f::x <= -1)"
+    assert "@exit9" in str(Query(X, RelOp.LE, -1, summary_exit=9))

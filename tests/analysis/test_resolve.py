@@ -1,0 +1,209 @@
+from repro.analysis.answers import FALSE, TRUE, UNDEF
+from repro.analysis.config import AnalysisConfig, CorrelationSource
+from repro.analysis.query import Query
+from repro.analysis.resolve import (Decided, Proceed, edge_assertion,
+                                    entry_param_contribution, node_transfer)
+from repro.ir import lower_program
+from repro.ir.expr import (Alloc, BinaryExpr, Const, Convert, InputRead,
+                           Load, VarExpr, VarId)
+from repro.ir.icfg import Edge, EdgeKind, ICFG
+from repro.ir.nodes import (AssignNode, BranchNode, CallNode, NopNode,
+                            PrintNode, StoreNode)
+from repro.ir.ops import RelOp
+from repro.lang import parse_program
+
+X = VarId.local("f", "x")
+W = VarId.local("f", "w")
+P = VarId.local("f", "p")
+
+ALL = AnalysisConfig()
+ICFG_DUMMY = ICFG()
+
+
+def assign(target, rhs):
+    return AssignNode(0, "f", target, rhs)
+
+
+def q(var, relop=RelOp.EQ, const=0):
+    return Query(var, relop, const)
+
+
+def test_constant_assignment_decides():
+    result = node_transfer(ICFG_DUMMY, assign(X, Const(0)), q(X), ALL)
+    assert result == Decided(TRUE)
+    result = node_transfer(ICFG_DUMMY, assign(X, Const(5)), q(X), ALL)
+    assert result == Decided(FALSE)
+
+
+def test_constant_assignment_source_can_be_disabled():
+    config = AnalysisConfig(sources=frozenset(
+        {CorrelationSource.BRANCH_ASSERTION}))
+    result = node_transfer(ICFG_DUMMY, assign(X, Const(0)), q(X), config)
+    assert result == Decided(UNDEF)
+
+
+def test_copy_assignment_substitutes():
+    result = node_transfer(ICFG_DUMMY, assign(X, VarExpr(W)), q(X), ALL)
+    assert result == Proceed(q(W))
+
+
+def test_copy_substitution_can_be_disabled():
+    config = AnalysisConfig(copy_substitution=False)
+    result = node_transfer(ICFG_DUMMY, assign(X, VarExpr(W)), q(X), config)
+    assert result == Decided(UNDEF)
+
+
+def test_offset_substitution_disabled_by_default():
+    rhs = BinaryExpr("+", VarExpr(W), Const(1))
+    result = node_transfer(ICFG_DUMMY, assign(X, rhs), q(X), ALL)
+    assert result == Decided(UNDEF)
+
+
+def test_offset_substitution_when_enabled():
+    config = AnalysisConfig(offset_substitution=True)
+    rhs = BinaryExpr("+", VarExpr(W), Const(1))
+    result = node_transfer(ICFG_DUMMY, assign(X, rhs),
+                           Query(X, RelOp.LT, 5), config)
+    assert result == Proceed(Query(W, RelOp.LT, 4))
+
+
+def test_offset_substitution_respects_constant_limit():
+    config = AnalysisConfig(offset_substitution=True,
+                            offset_constant_limit=10)
+    rhs = BinaryExpr("-", VarExpr(W), Const(100))
+    result = node_transfer(ICFG_DUMMY, assign(X, rhs),
+                           Query(X, RelOp.LT, 5), config)
+    assert result == Decided(UNDEF)
+
+
+def test_unsigned_conversion_fact():
+    node = assign(X, Convert(VarExpr(W)))
+    assert node_transfer(ICFG_DUMMY, node, Query(X, RelOp.GE, 0),
+                         ALL) == Decided(TRUE)
+    assert node_transfer(ICFG_DUMMY, node, Query(X, RelOp.EQ, -1),
+                         ALL) == Decided(FALSE)
+    assert node_transfer(ICFG_DUMMY, node, Query(X, RelOp.EQ, 5),
+                         ALL) == Decided(UNDEF)
+
+
+def test_unsigned_conversion_source_can_be_disabled():
+    config = AnalysisConfig(sources=frozenset(
+        {CorrelationSource.CONSTANT_ASSIGNMENT}))
+    node = assign(X, Convert(VarExpr(W)))
+    assert node_transfer(ICFG_DUMMY, node, Query(X, RelOp.GE, 0),
+                         config) == Decided(UNDEF)
+
+
+def test_alloc_fact_is_nonnegative():
+    node = assign(X, Alloc(Const(4)))
+    assert node_transfer(ICFG_DUMMY, node, Query(X, RelOp.GE, 0),
+                         ALL) == Decided(TRUE)
+    assert node_transfer(ICFG_DUMMY, node, Query(X, RelOp.EQ, 0),
+                         ALL) == Decided(UNDEF)
+
+
+def test_input_and_load_define_unknown():
+    assert node_transfer(ICFG_DUMMY, assign(X, InputRead()), q(X),
+                         ALL) == Decided(UNDEF)
+    assert node_transfer(ICFG_DUMMY, assign(X, Load(VarExpr(P))), q(X),
+                         ALL) == Decided(UNDEF)
+
+
+def test_load_asserts_pointer_nonzero():
+    node = assign(X, Load(VarExpr(P)))
+    assert node_transfer(ICFG_DUMMY, node, Query(P, RelOp.EQ, 0),
+                         ALL) == Decided(FALSE)
+    assert node_transfer(ICFG_DUMMY, node, Query(P, RelOp.NE, 0),
+                         ALL) == Decided(TRUE)
+    # Undecided pointer queries continue (the load does not define p).
+    assert node_transfer(ICFG_DUMMY, node, Query(P, RelOp.GT, 5),
+                         ALL) == Proceed(Query(P, RelOp.GT, 5))
+
+
+def test_store_asserts_address_nonzero():
+    node = StoreNode(0, "f", VarExpr(P), Const(1))
+    assert node_transfer(ICFG_DUMMY, node, Query(P, RelOp.EQ, 0),
+                         ALL) == Decided(FALSE)
+
+
+def test_deref_source_can_be_disabled():
+    config = AnalysisConfig(sources=frozenset(
+        {CorrelationSource.CONSTANT_ASSIGNMENT}))
+    node = assign(X, Load(VarExpr(P)))
+    result = node_transfer(ICFG_DUMMY, node, Query(P, RelOp.EQ, 0), config)
+    assert result == Proceed(Query(P, RelOp.EQ, 0))
+
+
+def test_unrelated_nodes_pass_queries_through():
+    for node in (PrintNode(0, "f", VarExpr(W)),
+                 NopNode(0, "f"),
+                 BranchNode(0, "f", VarExpr(W)),
+                 CallNode(0, "f", callee="g"),
+                 assign(W, Const(1))):
+        assert node_transfer(ICFG_DUMMY, node, q(X), ALL) == Proceed(q(X))
+
+
+def _branch_graph():
+    """A real lowered graph with one branch `if (x > 2)`."""
+    icfg = lower_program(parse_program("""
+        proc main() {
+            var x = input();
+            if (x > 2) { print 1; } else { print 2; }
+        }
+    """))
+    branch = [n for n in icfg.iter_nodes() if isinstance(n, BranchNode)][0]
+    true_edge = [e for e in icfg.succ_edges(branch.id)
+                 if e.kind is EdgeKind.TRUE][0]
+    false_edge = [e for e in icfg.succ_edges(branch.id)
+                  if e.kind is EdgeKind.FALSE][0]
+    x = VarId.local("main", "x")
+    return icfg, true_edge, false_edge, x
+
+
+def test_edge_assertion_on_branch_edges():
+    icfg, true_edge, false_edge, x = _branch_graph()
+    # On the true edge x > 2 holds.
+    assert edge_assertion(icfg, true_edge, Query(x, RelOp.GT, 0), ALL) is True
+    assert edge_assertion(icfg, true_edge, Query(x, RelOp.LE, 1), ALL) is False
+    assert edge_assertion(icfg, true_edge, Query(x, RelOp.EQ, 5), ALL) is None
+    # On the false edge x <= 2 holds.
+    assert edge_assertion(icfg, false_edge, Query(x, RelOp.LT, 3), ALL) is True
+    assert edge_assertion(icfg, false_edge, Query(x, RelOp.GT, 7),
+                          ALL) is False
+
+
+def test_edge_assertion_ignores_other_variables_and_kinds():
+    icfg, true_edge, _, x = _branch_graph()
+    other = Query(VarId.local("main", "y"), RelOp.GT, 0)
+    assert edge_assertion(icfg, true_edge, other, ALL) is None
+    normal_edge = Edge(0, 1, EdgeKind.NORMAL)
+    assert edge_assertion(icfg, normal_edge, Query(x, RelOp.GT, 0),
+                          ALL) is None
+
+
+def test_edge_assertion_source_can_be_disabled():
+    icfg, true_edge, _, x = _branch_graph()
+    config = AnalysisConfig(sources=frozenset(
+        {CorrelationSource.CONSTANT_ASSIGNMENT}))
+    assert edge_assertion(icfg, true_edge, Query(x, RelOp.GT, 0),
+                          config) is None
+
+
+def test_entry_param_contribution_constant_argument():
+    call = CallNode(0, "main", callee="f", args=[Const(3)])
+    outcome = entry_param_contribution(call, 0, Query(X, RelOp.EQ, 3), ALL)
+    assert outcome == TRUE
+
+
+def test_entry_param_contribution_variable_argument():
+    caller_var = VarId.local("main", "y")
+    call = CallNode(0, "main", callee="f", args=[VarExpr(caller_var)])
+    outcome = entry_param_contribution(call, 0, Query(X, RelOp.EQ, 3), ALL)
+    assert outcome == Query(caller_var, RelOp.EQ, 3)
+
+
+def test_entry_param_contribution_complex_argument_is_undef():
+    call = CallNode(0, "main", callee="f",
+                    args=[BinaryExpr("*", VarExpr(X), Const(2))])
+    outcome = entry_param_contribution(call, 0, q(X), ALL)
+    assert outcome == UNDEF

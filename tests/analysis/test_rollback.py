@@ -1,0 +1,111 @@
+"""Rollback-phase specifics: answer sets at interior nodes."""
+
+from tests.helpers import build
+
+from repro.analysis import AnalysisConfig
+from repro.analysis.answers import FALSE, TRUE, UNDEF
+from repro.analysis.driver import analyze_branch
+from repro.analysis.rollback import answers_at
+from repro.ir.nodes import BranchNode, EntryNode, ExitNode
+
+CONFIG = AnalysisConfig(budget=100000)
+
+
+def analyze(source, fragment):
+    icfg = build(source)
+    import re
+    branch = [n for n in icfg.iter_nodes() if isinstance(n, BranchNode)
+              and fragment in re.sub(r"\w+::", "", n.label())][0]
+    return icfg, analyze_branch(icfg, branch.id, CONFIG)
+
+
+def test_interior_merge_node_unions_answers():
+    icfg, result = analyze("""
+        proc main() {
+            var c = input();
+            var x = 0;
+            if (c > 0) { x = 1; }
+            print c;
+            if (x == 1) { print 9; }
+        }
+    """, "x == 1")
+    # The print node sits between the merge and the test: both answers.
+    assert result.branch_answers == frozenset({TRUE, FALSE})
+    engine = result.engine
+    print_nodes = [nid for nid in engine.raised
+                   if "print" in icfg.nodes[nid].label()
+                   and icfg.nodes[nid].proc == "main"]
+    unioned = set()
+    for nid in print_nodes:
+        for query in engine.raised[nid]:
+            unioned |= answers_at(result.answers, nid, query)
+    assert {TRUE, FALSE} <= unioned
+
+
+def test_exit_node_hosts_summary_answers():
+    icfg, result = analyze("""
+        proc pick(v) {
+            if (v > 0) { return 1; }
+            return 2;
+        }
+        proc main() {
+            var r = pick(input());
+            if (r == 1) { print 1; }
+        }
+    """, "r == 1")
+    engine = result.engine
+    exit_id = icfg.procs["pick"].exits[0]
+    hosted = list(engine.raised.get(exit_id, ()))
+    assert hosted, "exit node should host the summary query"
+    summary_answers = answers_at(result.answers, exit_id, hosted[0])
+    assert summary_answers == frozenset({TRUE, FALSE})
+
+
+def test_trans_answer_recorded_at_exit_for_transparent_callee():
+    icfg, result = analyze("""
+        global g = 0;
+        proc noop(v) { return v; }
+        proc main() {
+            g = 1;
+            var r = noop(2);
+            if (g == 1) { print 1; }
+        }
+    """, "g == 1")
+    engine = result.engine
+    exit_id = icfg.procs["noop"].exits[0]
+    hosted = list(engine.raised.get(exit_id, ()))
+    assert hosted
+    summary_answers = answers_at(result.answers, exit_id, hosted[0])
+    assert any(a.is_trans for a in summary_answers)
+    entry_id = icfg.procs["noop"].entries[0]
+    trans_answers = [a for a in summary_answers if a.is_trans]
+    assert trans_answers[0].trans_entry == entry_id
+    # And the conditional itself resolves through the transparency.
+    assert result.branch_answers == frozenset({TRUE})
+
+
+def test_unprocessed_pairs_default_to_undef():
+    icfg, result = analyze("""
+        proc main() {
+            var a = input();
+            var b = a;
+            var c = b;
+            if (c == 1) { print 1; }
+        }
+    """, "c == 1")
+    # Re-run with a budget of one pair: only the branch gets processed.
+    tiny = analyze_branch(icfg, result.branch_id,
+                          AnalysisConfig(budget=1))
+    assert tiny.stats.budget_exhausted
+    assert UNDEF in tiny.branch_answers
+
+
+def test_answers_at_unknown_pair_is_undef():
+    icfg, result = analyze("""
+        proc main() { var x = 1; if (x == 1) { print 1; } }
+    """, "x == 1")
+    from repro.analysis.query import Query
+    from repro.ir.expr import VarId
+    from repro.ir.ops import RelOp
+    ghost = Query(VarId.global_("ghost"), RelOp.EQ, 0)
+    assert answers_at(result.answers, 999, ghost) == frozenset({UNDEF})

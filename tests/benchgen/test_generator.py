@@ -1,0 +1,67 @@
+from repro.benchgen import GeneratorOptions, generate_program
+from repro.interp import Workload, run_icfg
+from repro.ir import lower_program, verify_icfg
+from repro.lang import parse_program, pretty_print
+from repro.lang.sema import check_program
+
+
+def test_deterministic_per_seed():
+    first = pretty_print(generate_program(42))
+    second = pretty_print(generate_program(42))
+    assert first == second
+
+
+def test_different_seeds_differ():
+    assert pretty_print(generate_program(1)) != pretty_print(
+        generate_program(2))
+
+
+def test_generated_programs_are_semantically_valid():
+    for seed in range(10):
+        program = generate_program(seed)
+        check_program(program)  # raises on failure
+
+
+def test_generated_programs_lower_and_verify():
+    for seed in range(10):
+        icfg = lower_program(generate_program(seed))
+        verify_icfg(icfg)
+
+
+def test_generated_programs_terminate_and_do_not_fault():
+    for seed in range(10):
+        icfg = lower_program(generate_program(seed))
+        result = run_icfg(icfg, Workload.random(40, seed=seed),
+                          step_limit=500_000)
+        assert result.status == "ok", (seed, result.fault_message)
+
+
+def test_pretty_printed_output_reparses():
+    for seed in range(5):
+        text = pretty_print(generate_program(seed))
+        reparsed = parse_program(text)
+        assert pretty_print(reparsed) == text
+
+
+def test_options_control_size():
+    small = generate_program(7, GeneratorOptions(procedures=1,
+                                                 statements_per_proc=3))
+    large = generate_program(7, GeneratorOptions(procedures=8,
+                                                 statements_per_proc=14))
+    assert len(pretty_print(large)) > len(pretty_print(small))
+
+
+def test_library_procedures_present():
+    program = generate_program(3)
+    names = program.proc_names()
+    assert any(name.startswith("lib_getter") for name in names)
+    assert any(name.startswith("lib_guarded") for name in names)
+    assert any(name.startswith("lib_flag") for name in names)
+
+
+def test_heap_free_option():
+    program = generate_program(5, GeneratorOptions(use_heap=False,
+                                                   idiom_probability=0.0))
+    text = pretty_print(program)
+    assert "alloc(" not in text
+    assert "store(" not in text

@@ -1,0 +1,88 @@
+import random
+
+from repro.benchgen import patterns
+from repro.interp import Workload, run_icfg
+from repro.ir import lower_program, verify_icfg
+from repro.lang import ast
+from repro.lang.sema import check_program
+
+
+def wrap(procs, main_body, globals_=("err",)):
+    program = ast.Program()
+    for name in globals_:
+        program.globals.append(ast.GlobalDecl(name=name, init=0))
+    program.procs.extend(procs)
+    program.procs.append(ast.ProcDef(name="main", params=[],
+                                     body=main_body))
+    return program
+
+
+def call(name, *args):
+    return ast.CallExpr(name=name,
+                        args=[ast.IntLit(value=a) for a in args])
+
+
+def test_getter_classifies_error_and_value():
+    getter = patterns.getter_with_error_return("get", offset=2)
+    program = wrap([getter], [
+        ast.Print(value=call("get", -3)),
+        ast.Print(value=call("get", 5)),
+    ])
+    check_program(program)
+    result = run_icfg(lower_program(program), Workload([]))
+    assert result.output[0] == -1
+    assert result.output[1] == 7  # (unsigned)(5+2)
+
+
+def test_getter_result_never_in_gap():
+    getter = patterns.getter_with_error_return("get", offset=0)
+    program = wrap([getter], [
+        ast.Print(value=call("get", v)) for v in (-9, 0, 1, 250, 300)
+    ])
+    result = run_icfg(lower_program(program), Workload([]))
+    for value in result.output:
+        assert value == -1 or 0 <= value <= 255
+
+
+def test_guarded_worker_rejects_zero():
+    worker = patterns.guarded_worker("work", scale=3)
+    program = wrap([worker], [
+        ast.Print(value=call("work", 0)),
+        ast.Print(value=call("work", 4)),
+    ])
+    result = run_icfg(lower_program(program), Workload([]))
+    assert result.output == [-2, 12]
+
+
+def test_flag_setter_sets_global():
+    setter = patterns.flag_setter("may_fail", "err", threshold=0)
+    program = wrap([setter], [
+        ast.Assign(name="err", value=ast.IntLit(value=9)),
+        ast.Print(value=call("may_fail", -1)),
+        ast.Print(value=ast.VarRef(name="err")),
+        ast.Print(value=call("may_fail", 5)),
+        ast.Print(value=ast.VarRef(name="err")),
+    ])
+    result = run_icfg(lower_program(program), Workload([]))
+    assert result.output == [0, 1, 5, 0]
+
+
+def test_build_library_cycles_all_kinds():
+    procs = patterns.build_library(random.Random(0), count=8,
+                                   flag_global="err")
+    kinds = {p.name.split("_")[1].rstrip("0123456789") for p in procs}
+    assert kinds == {"getter", "guarded", "flag", "recur"}
+    program = wrap(procs, [ast.Return(value=ast.IntLit(value=0))])
+    check_program(program)
+    verify_icfg(lower_program(program))
+
+
+def test_bounded_recursive_terminates_and_accumulates():
+    recur = patterns.bounded_recursive("walk", step=2)
+    program = wrap([recur], [
+        ast.Print(value=call("walk", 4)),
+        ast.Print(value=call("walk", 0)),
+        ast.Print(value=call("walk", -3)),
+    ])
+    result = run_icfg(lower_program(program), Workload([]))
+    assert result.output == [8, 0, 0]

@@ -1,0 +1,86 @@
+import pytest
+
+from repro.benchgen.suite import (benchmark_names, benchmark_suite,
+                                  load_benchmark)
+from repro.interp import run_icfg
+from repro.ir import lower_program, verify_icfg
+
+
+def test_suite_has_six_benchmarks():
+    names = benchmark_names()
+    assert len(names) == 6
+    assert set(names) == {"go_like", "m88ksim_like", "compress_like",
+                          "li_like", "perl_like", "icc_like"}
+
+
+@pytest.mark.parametrize("name", benchmark_names())
+def test_benchmark_lowers_and_verifies(name):
+    bench = load_benchmark(name)
+    icfg = lower_program(bench.program)
+    verify_icfg(icfg)
+    assert icfg.conditional_node_count() >= 5
+
+
+@pytest.mark.parametrize("name", benchmark_names())
+def test_benchmark_runs_clean_on_ref_workload(name):
+    bench = load_benchmark(name)
+    icfg = lower_program(bench.program)
+    result = run_icfg(icfg, bench.workload)
+    assert result.status == "ok", result.fault_message
+    assert result.output, "benchmarks should produce observable output"
+    assert result.profile.executed_conditionals > 20
+
+
+@pytest.mark.parametrize("name", benchmark_names())
+def test_benchmark_is_deterministic(name):
+    first = load_benchmark(name)
+    second = load_benchmark(name)
+    assert first.source == second.source
+    assert first.workload.values == second.workload.values
+    icfg = lower_program(first.program)
+    assert (run_icfg(icfg, first.workload).observable
+            == run_icfg(icfg, second.workload).observable)
+
+
+def test_suite_entries_independent():
+    suite = benchmark_suite()
+    suite["go_like"].workload.next_value()
+    fresh = benchmark_suite()
+    assert fresh["go_like"].workload.consumed == 0
+
+
+def test_source_lines_metric_positive():
+    for name in benchmark_names():
+        assert load_benchmark(name).source_lines > 20
+
+
+def test_scaled_suite_lowers_and_runs():
+    bench = load_benchmark("compress_like", scale=4)
+    icfg = lower_program(bench.program)
+    verify_icfg(icfg)
+    from repro.interp import run_icfg
+    result = run_icfg(icfg, bench.workload, step_limit=5_000_000)
+    assert result.status == "ok"
+    assert icfg.node_count() > 1000
+
+
+def test_scaled_suite_keeps_core_behaviour_prefix():
+    """The scaled main runs the core first, so the core's output is a
+    prefix of the scaled program's output."""
+    from repro.interp import run_icfg
+    core = load_benchmark("go_like")
+    scaled = load_benchmark("go_like", scale=2)
+    core_icfg = lower_program(core.program)
+    scaled_icfg = lower_program(scaled.program)
+    core_out = run_icfg(core_icfg, core.workload).output
+    scaled_out = run_icfg(scaled_icfg, scaled.workload,
+                          step_limit=5_000_000).output
+    assert scaled_out[:len(core_out)] == core_out
+
+
+def test_scale_is_deterministic():
+    first = load_benchmark("li_like", scale=3)
+    second = load_benchmark("li_like", scale=3)
+    from repro.lang.pretty import pretty_print
+    assert pretty_print(first.program) == pretty_print(second.program)
+    assert first.workload.values == second.workload.values

@@ -1,0 +1,11 @@
+"""Pytest fixtures (helpers live in tests.helpers)."""
+
+import pytest
+
+from repro.ir import ICFG
+from tests.helpers import FGETC_LIKE, build
+
+
+@pytest.fixture
+def fgetc_icfg() -> ICFG:
+    return build(FGETC_LIKE)

@@ -1,0 +1,27 @@
+from repro.harness.fig10 import (compute_fig10, quadrant_counts,
+                                 render_fig10)
+
+
+def test_points_only_for_correlated_conditionals():
+    data = compute_fig10(["compress_like"], budget=50_000)
+    assert data.inter, "interprocedural analysis must find correlation"
+    for point in data.inter + data.intra:
+        assert point.duplication >= 0
+        assert point.avoided_executions >= 0
+
+
+def test_inter_has_at_least_as_many_points_as_intra():
+    data = compute_fig10(["li_like"], budget=50_000)
+    assert len(data.inter) >= len(data.intra)
+
+
+def test_quadrant_counts_partition_points():
+    data = compute_fig10(["compress_like"], budget=50_000)
+    counts = quadrant_counts(data.inter)
+    assert sum(counts.values()) == len(data.inter)
+
+
+def test_render_mentions_both_scopes():
+    data = compute_fig10(["compress_like"], budget=20_000)
+    text = render_fig10(data)
+    assert "intraprocedural" in text and "interprocedural" in text

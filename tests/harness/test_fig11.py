@@ -1,0 +1,55 @@
+import pytest
+
+from repro.harness.fig11 import compute_fig11, render_fig11, sweep_benchmark
+from repro.harness.metrics import prepare_benchmark
+
+
+@pytest.fixture(scope="module")
+def compress_points():
+    context = prepare_benchmark("compress_like")
+    inter = sweep_benchmark(context, True, limits=(5, 50))
+    intra = sweep_benchmark(context, False, limits=(5, 50))
+    return inter + intra
+
+
+def test_points_cover_the_sweep(compress_points):
+    combos = {(p.interprocedural, p.duplication_limit)
+              for p in compress_points}
+    assert combos == {(True, 5), (True, 50), (False, 5), (False, 50)}
+
+
+def test_reduction_monotone_in_limit(compress_points):
+    by_scope = {}
+    for point in compress_points:
+        by_scope.setdefault(point.interprocedural, {})[
+            point.duplication_limit] = point
+    for scope_points in by_scope.values():
+        assert (scope_points[50].reduction_pct
+                >= scope_points[5].reduction_pct - 1e-9)
+
+
+def test_inter_beats_intra_at_every_limit(compress_points):
+    inter = {p.duplication_limit: p for p in compress_points
+             if p.interprocedural}
+    intra = {p.duplication_limit: p for p in compress_points
+             if not p.interprocedural}
+    for limit in (5, 50):
+        assert inter[limit].reduction_pct >= intra[limit].reduction_pct
+
+
+def test_semantics_guard_is_active(compress_points):
+    # sweep_benchmark re-runs the workload and raises on divergence;
+    # reaching this point means every optimized variant matched.
+    for point in compress_points:
+        assert point.executed_after <= point.executed_before
+
+
+def test_render_fig11_groups_by_benchmark(compress_points):
+    text = render_fig11(compress_points)
+    assert "Fig 11: compress_like" in text
+    assert "dup limit" in text
+
+
+def test_compute_fig11_single_benchmark():
+    points = compute_fig11(["go_like"], limits=(10,))
+    assert len(points) == 2  # one inter + one intra point

@@ -1,0 +1,28 @@
+from repro.harness.__main__ import EXPERIMENTS, main
+
+
+def test_usage_without_arguments(capsys):
+    assert main([]) == 2
+    assert "usage" in capsys.readouterr().out
+
+
+def test_help_flag(capsys):
+    assert main(["--help"]) == 0
+    out = capsys.readouterr().out
+    for name in EXPERIMENTS:
+        assert name in out
+
+
+def test_unknown_experiment(capsys):
+    assert main(["bogus"]) == 2
+    assert "unknown experiment" in capsys.readouterr().out
+
+
+def test_dispatch_runs_table1(capsys):
+    assert main(["table1"]) == 0
+    assert "Table 1" in capsys.readouterr().out
+
+
+def test_experiment_registry_is_complete():
+    assert set(EXPERIMENTS) == {"table1", "table2", "fig9", "fig10",
+                                "fig11", "headline"}

@@ -1,0 +1,42 @@
+from repro.analysis import AnalysisConfig
+from repro.harness.metrics import (branch_population, percent,
+                                   population_summary, prepare_benchmark)
+
+
+def test_prepare_benchmark_profiles_ref_workload():
+    context = prepare_benchmark("compress_like")
+    assert context.name == "compress_like"
+    assert context.execution.status == "ok"
+    assert context.profile.executed_conditionals > 50
+
+
+def test_branch_population_covers_every_conditional():
+    context = prepare_benchmark("compress_like")
+    infos = branch_population(context, AnalysisConfig(budget=5000))
+    assert len(infos) == context.icfg.conditional_node_count()
+    assert all(info.pairs_examined >= 0 for info in infos)
+
+
+def test_inter_dominates_intra_on_every_benchmark_field():
+    context = prepare_benchmark("li_like")
+    inter = population_summary(branch_population(
+        context, AnalysisConfig(interprocedural=True, budget=50_000)))
+    intra = population_summary(branch_population(
+        context, AnalysisConfig(interprocedural=False, budget=50_000)))
+    assert inter["correlated_pct"] >= intra["correlated_pct"]
+    assert inter["fully_pct"] >= intra["fully_pct"]
+    assert inter["correlated_dyn_pct"] >= intra["correlated_dyn_pct"]
+
+
+def test_fully_correlated_implies_correlated():
+    context = prepare_benchmark("perl_like")
+    for info in branch_population(context, AnalysisConfig(budget=50_000)):
+        if info.fully_correlated:
+            assert info.correlated
+        if info.correlated:
+            assert info.analyzable
+
+
+def test_percent_helper():
+    assert percent(1, 4) == 25.0
+    assert percent(1, 0) == 0.0

@@ -1,0 +1,23 @@
+import pathlib
+
+from repro.harness.report import generate
+
+
+def test_report_generates_complete_markdown(tmp_path):
+    path = tmp_path / "EXPERIMENTS.md"
+    text = generate(str(path))
+    assert path.exists()
+    assert path.read_text() == text
+    for heading in ("Table 1", "Table 2", "Figure 9", "Figure 10",
+                    "Figure 11", "Headline claims", "Extension claims"):
+        assert heading in text, f"missing section {heading!r}"
+    # Paper-vs-measured juxtaposition present.
+    assert "Paper reports" in text
+    assert "2.5" in text
+
+
+def test_checked_in_report_is_current_format():
+    repo_root = pathlib.Path(__file__).resolve().parents[2]
+    checked_in = (repo_root / "EXPERIMENTS.md").read_text()
+    assert "# EXPERIMENTS" in checked_in
+    assert "Figure 11" in checked_in

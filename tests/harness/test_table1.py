@@ -1,0 +1,21 @@
+from repro.harness.table1 import compute_table1, render_table1
+
+
+def test_rows_have_consistent_counts():
+    rows = compute_table1(["compress_like", "go_like"])
+    assert [r.name for r in rows] == ["compress_like", "go_like"]
+    for row in rows:
+        assert 0 < row.nodes_conditional < row.nodes_executable
+        assert row.nodes_executable < row.nodes_all
+        assert 0 < row.static_cond_pct < 100
+        assert 0 < row.dynamic_cond_pct < 100
+        assert row.procedures >= 3
+        assert 0 < row.leaf_procedures < row.procedures
+        assert row.source_lines > 20
+
+
+def test_render_contains_all_benchmarks():
+    rows = compute_table1(["compress_like"])
+    text = render_table1(rows)
+    assert "Table 1" in text
+    assert "compress_like" in text

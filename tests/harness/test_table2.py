@@ -1,0 +1,28 @@
+from repro.analysis import AnalysisConfig
+from repro.harness.table2 import (compute_table2, measure_benchmark,
+                                  render_table2)
+
+
+def test_measurement_fields_consistent():
+    row = measure_benchmark("compress_like")
+    assert row.analysis_seconds <= row.overall_seconds
+    assert row.pairs_total > 0
+    assert row.conditionals > 0
+    assert row.pairs_per_conditional > 0
+    assert row.progrep_kb > 0
+    assert row.analysis_kb > 0
+
+
+def test_budget_limits_pairs_per_conditional():
+    generous = measure_benchmark("perl_like",
+                                 AnalysisConfig(budget=50_000))
+    tight = measure_benchmark("perl_like", AnalysisConfig(budget=5))
+    assert tight.pairs_per_conditional <= generous.pairs_per_conditional
+    assert tight.budget_hits > 0
+    assert generous.budget_hits == 0
+
+
+def test_render_table2():
+    rows = compute_table2(["compress_like"])
+    text = render_table2(rows)
+    assert "Table 2" in text and "compress_like" in text

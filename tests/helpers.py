@@ -1,0 +1,83 @@
+"""Shared helpers for the ICBE reproduction test suite."""
+
+from __future__ import annotations
+
+from typing import List, Optional, Tuple
+
+from repro.analysis import AnalysisConfig
+from repro.interp import ExecutionResult, Workload, run_icfg
+from repro.ir import ICFG, lower_program, verify_icfg
+from repro.lang import parse_program
+from repro.transform import ICBEOptimizer, OptimizerOptions
+
+
+def build(source: str) -> ICFG:
+    """Parse + lower + verify a MiniC source snippet."""
+    icfg = lower_program(parse_program(source))
+    verify_icfg(icfg)
+    return icfg
+
+
+def run(source_or_icfg, inputs: Optional[List[int]] = None
+        ) -> ExecutionResult:
+    """Execute a program (source text or ICFG) over a workload."""
+    icfg = source_or_icfg if isinstance(source_or_icfg, ICFG) \
+        else build(source_or_icfg)
+    return run_icfg(icfg, Workload(inputs or []))
+
+
+def optimize(icfg: ICFG, interprocedural: bool = True,
+             duplication_limit: Optional[int] = None,
+             budget: int = 10_000) -> ICFG:
+    """Run the whole-program optimizer and return the optimized graph."""
+    optimizer = ICBEOptimizer(OptimizerOptions(
+        config=AnalysisConfig(interprocedural=interprocedural, budget=budget),
+        duplication_limit=duplication_limit))
+    report = optimizer.optimize(icfg)
+    verify_icfg(report.optimized)
+    return report.optimized
+
+
+def check_equivalent(icfg_a: ICFG, icfg_b: ICFG,
+                     workloads: List[List[int]]) -> Tuple[int, int]:
+    """Assert observable equivalence on every workload; return the total
+    executed-conditional counts (a, b)."""
+    conds_a = conds_b = 0
+    for inputs in workloads:
+        result_a = run_icfg(icfg_a, Workload(inputs))
+        result_b = run_icfg(icfg_b, Workload(inputs))
+        assert result_a.observable == result_b.observable, (
+            f"outputs differ on workload {inputs[:8]}...: "
+            f"{result_a.observable[:2]} vs {result_b.observable[:2]}")
+        conds_a += result_a.profile.executed_conditionals
+        conds_b += result_b.profile.executed_conditionals
+    return conds_a, conds_b
+
+
+# A compact program exercising calls, returns, globals, loops, and the
+# fgetc-style correlation — reused across many tests.
+FGETC_LIKE = """
+proc fgetc(stream) {
+    var c;
+    if (stream == 0) { return -1; }
+    c = load(stream);
+    if (c == 0) {
+        c = input();
+        if (c == 0) { return -1; }
+        store(stream, c);
+    }
+    store(stream, load(stream) - 1);
+    return (unsigned) c;
+}
+
+proc main() {
+    var f = alloc(1);
+    store(f, 6);
+    var ch = fgetc(f);
+    while (ch != -1) {
+        print ch;
+        ch = fgetc(f);
+    }
+    return 0;
+}
+"""

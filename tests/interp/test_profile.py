@@ -1,0 +1,54 @@
+from tests.helpers import build
+
+from repro.interp import Workload, run_icfg
+from repro.interp.profile import Profile, executed_conditionals
+from repro.ir.nodes import BranchNode
+
+
+def test_merge_accumulates_counters():
+    icfg = build("""
+        proc main() {
+            var i = 0;
+            while (i < 2) { i = i + 1; }
+        }
+    """)
+    total = Profile()
+    for _ in range(3):
+        result = run_icfg(icfg, Workload([]))
+        total.merge(result.profile)
+    single = run_icfg(icfg, Workload([])).profile
+    assert total.executed_conditionals == 3 * single.executed_conditionals
+    assert total.executed_operations == 3 * single.executed_operations
+    for node_id, count in single.node_counts.items():
+        assert total.node_counts[node_id] == 3 * count
+
+
+def test_branch_executions_sum_true_and_false():
+    icfg = build("""
+        proc main() {
+            var i = 0;
+            while (i < 5) { i = i + 1; }
+        }
+    """)
+    profile = run_icfg(icfg, Workload([])).profile
+    branch = [n for n in icfg.iter_nodes() if isinstance(n, BranchNode)][0]
+    assert profile.branch_executions(branch.id) == 6
+    assert profile.branch_true[branch.id] == 5
+    assert profile.branch_false[branch.id] == 1
+
+
+def test_executed_conditionals_crosscheck():
+    icfg = build("""
+        proc main() {
+            var x = input();
+            if (x > 0) { print 1; }
+            if (x > 1) { print 2; }
+        }
+    """)
+    result = run_icfg(icfg, Workload([5]))
+    assert executed_conditionals(result.profile, icfg) == 2
+    assert result.profile.executed_conditionals == 2
+
+
+def test_count_of_unknown_node_is_zero():
+    assert Profile().count_of(12345) == 0

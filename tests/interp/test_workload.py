@@ -1,0 +1,50 @@
+from repro.interp.workload import Workload
+
+
+def test_sequential_consumption():
+    workload = Workload([1, 2])
+    assert workload.next_value() == 1
+    assert workload.next_value() == 2
+    assert workload.consumed == 2
+
+
+def test_exhausted_stream_yields_default_forever():
+    workload = Workload([1], default=-1)
+    workload.next_value()
+    assert workload.next_value() == -1
+    assert workload.next_value() == -1
+    assert workload.consumed == 1  # defaults are not "consumed"
+
+
+def test_reset_rewinds_in_place():
+    workload = Workload([5])
+    workload.next_value()
+    assert workload.reset() is workload
+    assert workload.next_value() == 5
+
+
+def test_fresh_returns_independent_copy():
+    workload = Workload([5, 6], name="w")
+    workload.next_value()
+    copy = workload.fresh()
+    assert copy.next_value() == 5
+    assert workload.next_value() == 6
+    assert copy.name == "w"
+
+
+def test_random_workload_deterministic_per_seed():
+    a = Workload.random(10, seed=3)
+    b = Workload.random(10, seed=3)
+    c = Workload.random(10, seed=4)
+    assert a.values == b.values
+    assert a.values != c.values
+
+
+def test_values_coerced_to_int():
+    assert Workload([True, 2.0]).values == [1, 2]
+
+
+def test_len_and_repr():
+    workload = Workload([1, 2, 3], name="demo")
+    assert len(workload) == 3
+    assert "demo" in repr(workload)

@@ -1,0 +1,76 @@
+from repro.ir.expr import (Alloc, BinaryExpr, Const, Convert, InputRead,
+                           Load, UnaryExpr, VarExpr, VarId, as_const, as_var,
+                           as_var_plus_const, direct_deref_vars)
+
+
+G = VarId.global_("g")
+X = VarId.local("f", "x")
+W = VarId.local("f", "w")
+
+
+def test_varid_scoping():
+    assert G.is_global and not X.is_global
+    assert VarId.ret("f").is_ret
+    assert str(G) == "g" and str(X) == "f::x"
+
+
+def test_varid_identity_is_value_based():
+    assert VarId.local("f", "x") == X
+    assert VarId.local("other", "x") != X
+
+
+def test_free_vars_collects_all_occurrences():
+    expr = BinaryExpr("+", VarExpr(X), BinaryExpr("*", VarExpr(G),
+                                                  VarExpr(X)))
+    assert expr.free_vars() == (X, G, X)
+
+
+def test_purity_classification():
+    assert Const(1).is_pure
+    assert VarExpr(X).is_pure
+    assert Convert(VarExpr(X)).is_pure
+    assert not InputRead().is_pure
+    assert not Alloc(Const(1)).is_pure
+    assert not Load(VarExpr(X)).is_pure
+
+
+def test_as_var_and_as_const_matchers():
+    assert as_var(VarExpr(X)) == X
+    assert as_var(Const(1)) is None
+    assert as_const(Const(7)) == 7
+    assert as_const(VarExpr(X)) is None
+
+
+def test_var_plus_const_matches_copy():
+    assert as_var_plus_const(VarExpr(W)) == (W, 0)
+
+
+def test_var_plus_const_matches_offsets():
+    assert as_var_plus_const(BinaryExpr("+", VarExpr(W), Const(3))) == (W, 3)
+    assert as_var_plus_const(BinaryExpr("-", VarExpr(W), Const(3))) == (W, -3)
+    assert as_var_plus_const(BinaryExpr("+", Const(4), VarExpr(W))) == (W, 4)
+
+
+def test_var_plus_const_rejects_other_shapes():
+    assert as_var_plus_const(BinaryExpr("-", Const(4), VarExpr(W))) is None
+    assert as_var_plus_const(BinaryExpr("*", VarExpr(W), Const(2))) is None
+    assert as_var_plus_const(BinaryExpr("+", VarExpr(W), VarExpr(X))) is None
+    assert as_var_plus_const(Const(2)) is None
+
+
+def test_direct_deref_vars_finds_loads_of_variables():
+    expr = BinaryExpr("+", Load(VarExpr(X)), Load(BinaryExpr("+",
+                                                             VarExpr(W),
+                                                             Const(1))))
+    assert direct_deref_vars([expr]) == (X,)
+
+
+def test_direct_deref_vars_looks_inside_converts_and_allocs():
+    assert direct_deref_vars([Convert(Load(VarExpr(G)))]) == (G,)
+    assert direct_deref_vars([Alloc(Load(VarExpr(X)))]) == (X,)
+
+
+def test_expression_rendering():
+    assert str(BinaryExpr("+", Const(1), VarExpr(X))) == "(1 + f::x)"
+    assert str(Convert(VarExpr(X))) == "(unsigned)f::x"
+    assert str(Load(VarExpr(G))) == "load(g)"

@@ -1,0 +1,129 @@
+import pytest
+
+from repro.errors import LoweringError
+from repro.ir.expr import Const, VarId
+from repro.ir.icfg import Edge, EdgeKind, ICFG, ProcInfo
+from repro.ir.nodes import (AssignNode, BranchNode, EntryNode, ExitNode,
+                            NopNode)
+
+
+def tiny_graph():
+    icfg = ICFG()
+    icfg.add_proc(ProcInfo("main"))
+    entry = icfg.add_node(EntryNode(icfg.new_id(), "main"))
+    exit_node = icfg.add_node(ExitNode(icfg.new_id(), "main"))
+    icfg.procs["main"].entries.append(entry.id)
+    icfg.procs["main"].exits.append(exit_node.id)
+    return icfg, entry, exit_node
+
+
+def test_add_node_rejects_duplicate_ids():
+    icfg, entry, _ = tiny_graph()
+    with pytest.raises(LoweringError):
+        icfg.add_node(NopNode(entry.id, "main"))
+
+
+def test_new_ids_never_collide_with_added_nodes():
+    icfg, _, _ = tiny_graph()
+    icfg.add_node(NopNode(100, "main"))
+    assert icfg.new_id() > 100
+
+
+def test_edges_are_symmetric():
+    icfg, entry, exit_node = tiny_graph()
+    icfg.add_edge(entry.id, exit_node.id, EdgeKind.NORMAL)
+    assert icfg.successors(entry.id) == (exit_node.id,)
+    assert icfg.predecessors(exit_node.id) == (entry.id,)
+
+
+def test_duplicate_edge_rejected():
+    icfg, entry, exit_node = tiny_graph()
+    icfg.add_edge(entry.id, exit_node.id, EdgeKind.NORMAL)
+    with pytest.raises(LoweringError):
+        icfg.add_edge(entry.id, exit_node.id, EdgeKind.NORMAL)
+
+
+def test_parallel_edges_of_different_kinds_allowed():
+    icfg, _, _ = tiny_graph()
+    branch = icfg.add_node(BranchNode(icfg.new_id(), "main", Const(1)))
+    join = icfg.add_node(NopNode(icfg.new_id(), "main"))
+    icfg.add_edge(branch.id, join.id, EdgeKind.TRUE)
+    icfg.add_edge(branch.id, join.id, EdgeKind.FALSE)
+    assert icfg.branch_targets(branch.id) == (join.id, join.id)
+
+
+def test_remove_node_drops_incident_edges():
+    icfg, entry, exit_node = tiny_graph()
+    middle = icfg.add_node(NopNode(icfg.new_id(), "main"))
+    icfg.add_edge(entry.id, middle.id, EdgeKind.NORMAL)
+    icfg.add_edge(middle.id, exit_node.id, EdgeKind.NORMAL)
+    icfg.remove_node(middle.id)
+    assert icfg.successors(entry.id) == ()
+    assert icfg.predecessors(exit_node.id) == ()
+
+
+def test_remove_entry_updates_proc_lists():
+    icfg, entry, _ = tiny_graph()
+    icfg.remove_node(entry.id)
+    assert icfg.procs["main"].entries == []
+
+
+def test_duplicate_node_registers_entries_and_exits():
+    icfg, entry, exit_node = tiny_graph()
+    entry_copy = icfg.duplicate_node(entry)
+    exit_copy = icfg.duplicate_node(exit_node)
+    assert icfg.procs["main"].entries == [entry.id, entry_copy.id]
+    assert icfg.procs["main"].exits == [exit_node.id, exit_copy.id]
+    # Copies carry no edges.
+    assert icfg.succ_edges(entry_copy.id) == ()
+
+
+def test_only_succ_requires_uniqueness():
+    icfg, entry, exit_node = tiny_graph()
+    with pytest.raises(LoweringError):
+        icfg.only_succ(entry.id, EdgeKind.NORMAL)
+    icfg.add_edge(entry.id, exit_node.id, EdgeKind.NORMAL)
+    assert icfg.only_succ(entry.id, EdgeKind.NORMAL) == exit_node.id
+
+
+def test_iter_nodes_sorted_by_id():
+    icfg, _, _ = tiny_graph()
+    icfg.add_node(NopNode(50, "main"))
+    icfg.add_node(NopNode(7, "main"))
+    ids = [n.id for n in icfg.iter_nodes()]
+    assert ids == sorted(ids)
+
+
+def test_clone_is_deep_for_structure():
+    icfg, entry, exit_node = tiny_graph()
+    icfg.globals[VarId.global_("g")] = 5
+    assign = icfg.add_node(AssignNode(icfg.new_id(), "main",
+                                      VarId.local("main", "x"), Const(1)))
+    icfg.add_edge(entry.id, assign.id, EdgeKind.NORMAL)
+    icfg.add_edge(assign.id, exit_node.id, EdgeKind.NORMAL)
+
+    copy = icfg.clone()
+    copy.remove_node(assign.id)
+    copy.globals[VarId.global_("g")] = 99
+    copy.procs["main"].entries.append(12345)
+
+    assert assign.id in icfg.nodes
+    assert icfg.globals[VarId.global_("g")] == 5
+    assert icfg.procs["main"].entries == [entry.id]
+    assert icfg.successors(entry.id) == (assign.id,)
+
+
+def test_clone_preserves_node_count_metrics():
+    icfg, _, _ = tiny_graph()
+    icfg.add_node(BranchNode(icfg.new_id(), "main", Const(1)))
+    copy = icfg.clone()
+    assert copy.node_count() == icfg.node_count()
+    assert copy.conditional_node_count() == 1
+    assert copy.executable_node_count() == 1
+
+
+def test_edge_str_and_value_identity():
+    edge = Edge(1, 2, EdgeKind.TRUE)
+    assert edge == Edge(1, 2, EdgeKind.TRUE)
+    assert edge != Edge(1, 2, EdgeKind.FALSE)
+    assert "true" in str(edge)

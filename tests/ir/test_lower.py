@@ -1,0 +1,224 @@
+from tests.helpers import build, run
+
+from repro.ir import (AssignNode, BranchNode, CallExitNode, CallNode,
+                      EntryNode, ExitNode)
+from repro.ir.expr import Alloc, Const, Convert, InputRead, Load, VarId
+from repro.ir.icfg import EdgeKind
+from repro.ir.nodes import StoreNode
+
+
+def nodes_of(icfg, cls):
+    return [n for n in icfg.iter_nodes() if isinstance(n, cls)]
+
+
+def test_every_proc_gets_entry_and_exit():
+    icfg = build("proc f() { return 1; } proc main() { var x = f(); }")
+    for name in ("f", "main"):
+        info = icfg.procs[name]
+        assert len(info.entries) == 1
+        assert len(info.exits) == 1
+        assert isinstance(icfg.nodes[info.entries[0]], EntryNode)
+        assert isinstance(icfg.nodes[info.exits[0]], ExitNode)
+
+
+def test_call_site_normal_form_wiring():
+    icfg = build("proc f() { return 1; } proc main() { var x = f(); }")
+    call = nodes_of(icfg, CallNode)[0]
+    call_exit = nodes_of(icfg, CallExitNode)[0]
+    f = icfg.procs["f"]
+    assert call.entry_id == f.entries[0]
+    assert icfg.call_exits_of(call.id) == (call_exit.id,)
+    assert icfg.call_pred_of_call_exit(call_exit.id) == call.id
+    assert icfg.exit_pred_of_call_exit(call_exit.id) == f.exits[0]
+    assert call.return_map == {f.exits[0]: call_exit.id}
+    assert call_exit.result == VarId.local("main", "x")
+
+
+def test_call_for_effect_has_no_result_binding():
+    icfg = build("proc f() { return 1; } proc main() { f(); }")
+    assert nodes_of(icfg, CallExitNode)[0].result is None
+
+
+def test_nested_call_hoisted_to_temp():
+    icfg = build("proc f(a) { return a; } proc main() { var x = f(1) + 2; }")
+    calls = nodes_of(icfg, CallNode)
+    assert len(calls) == 1
+    call_exit = nodes_of(icfg, CallExitNode)[0]
+    assert call_exit.result is not None
+    assert call_exit.result.name.startswith("$t")
+
+
+def test_effectful_primitives_stay_top_level():
+    icfg = build("""
+        proc main() {
+            var a = input();
+            var p = alloc(2);
+            var v = load(p);
+            var w = load(p) + 1;
+        }
+    """)
+    assigns = {str(n.target): n.rhs for n in nodes_of(icfg, AssignNode)}
+    assert isinstance(assigns["main::a"], InputRead)
+    assert isinstance(assigns["main::p"], Alloc)
+    assert isinstance(assigns["main::v"], Load)
+    # The load inside the sum is hoisted into a temp.
+    assert isinstance(assigns["main::$t0"], Load)
+
+
+def test_shortcircuit_and_lowers_to_two_branches():
+    icfg = build("""
+        proc main() {
+            var a = 1; var b = 2;
+            if (a == 1 && b == 2) { print 1; }
+        }
+    """)
+    branches = nodes_of(icfg, BranchNode)
+    assert len(branches) == 2
+    # Dynamic check: both orderings of truth values behave like &&.
+    assert run("""
+        proc main() {
+            var a = input(); var b = input();
+            if (a == 1 && b == 2) { print 1; } else { print 0; }
+        }
+    """, [1, 2]).output == [1]
+
+
+def test_shortcircuit_or_and_not():
+    result = run("""
+        proc main() {
+            var a = input();
+            if (!(a == 1) || a > 10) { print 7; } else { print 8; }
+        }
+    """, [1])
+    assert result.output == [8]
+
+
+def test_constant_condition_folds_away():
+    icfg = build("proc main() { if (1) { print 1; } else { print 2; } }")
+    assert nodes_of(icfg, BranchNode) == []
+    assert run(icfg).output == [1]
+
+
+def test_constant_false_condition_keeps_else_only():
+    icfg = build("proc main() { if (0) { print 1; } else { print 2; } }")
+    assert nodes_of(icfg, BranchNode) == []
+    assert run(icfg).output == [2]
+
+
+def test_implicit_return_zero_appended():
+    icfg = build("proc f() { print 1; } proc main() { var x = f(); print x; }")
+    rets = [n for n in nodes_of(icfg, AssignNode)
+            if n.target == VarId.ret("f")]
+    assert len(rets) == 1
+    assert rets[0].rhs == Const(0)
+
+
+def test_unreachable_code_after_return_skipped():
+    icfg = build("proc main() { return 1; print 2; }")
+    assert not any("2" == str(getattr(n, "value", ""))
+                   for n in icfg.iter_nodes())
+
+
+def test_while_loop_shape_and_execution():
+    result = run("""
+        proc main() {
+            var i = 0;
+            var sum = 0;
+            while (i < 4) { sum = sum + i; i = i + 1; }
+            print sum;
+        }
+    """)
+    assert result.output == [6]
+
+
+def test_break_and_continue_execution():
+    result = run("""
+        proc main() {
+            var i = 0;
+            while (i < 10) {
+                i = i + 1;
+                if (i == 3) { continue; }
+                if (i == 5) { break; }
+                print i;
+            }
+            print i;
+        }
+    """)
+    assert result.output == [1, 2, 4, 5]
+
+
+def test_while_true_with_break_terminates():
+    result = run("""
+        proc main() {
+            var i = 0;
+            while (1) {
+                i = i + 1;
+                if (i >= 2) { break; }
+            }
+            print i;
+        }
+    """)
+    assert result.output == [2]
+
+
+def test_globals_lowered_with_initializers():
+    icfg = build("global a = 7; global b; proc main() { print a + b; }")
+    assert icfg.globals[VarId.global_("a")] == 7
+    assert icfg.globals[VarId.global_("b")] == 0
+
+
+def test_store_and_unsigned_cast_lowering():
+    icfg = build("""
+        proc main() {
+            var p = alloc(1);
+            store(p, 3);
+            var c = (unsigned) load(p);
+            print c;
+        }
+    """)
+    assert len(nodes_of(icfg, StoreNode)) == 1
+    converted = [n for n in nodes_of(icfg, AssignNode)
+                 if isinstance(n.rhs, Convert)]
+    assert len(converted) == 1
+    assert run(icfg).output == [3]
+
+
+def test_branch_correlation_pattern_extraction():
+    icfg = build("""
+        proc main() {
+            var x = input();
+            if (x == 3) { print 1; }
+            if (5 > x) { print 2; }
+            if (x) { print 3; }
+            if (x + 1 == 2) { print 4; }
+        }
+    """)
+    patterns = [b.correlation_pattern() for b in nodes_of(icfg, BranchNode)]
+    as_text = [None if p is None else (str(p[0]), str(p[1]), p[2])
+               for p in patterns]
+    assert as_text[0] == ("main::x", "==", 3)
+    assert as_text[1] == ("main::x", "<", 5)     # const-left swapped
+    assert as_text[2] == ("main::x", "!=", 0)    # bare variable
+    assert as_text[3] is None                    # compound lhs
+
+
+def test_main_entry_is_first_entry():
+    icfg = build("proc main() { return 0; }")
+    assert icfg.main_entry() == icfg.procs["main"].entries[0]
+
+
+def test_edges_out_of_branches_are_true_false():
+    icfg = build("proc main() { var x = 1; if (x == 1) { print 1; } }")
+    branch = nodes_of(icfg, BranchNode)[0]
+    kinds = sorted(e.kind.value for e in icfg.succ_edges(branch.id))
+    assert kinds == ["false", "true"]
+
+
+def test_remove_unreachable_prunes_uncalled_code():
+    icfg = build("""
+        proc unused() { print 42; return 0; }
+        proc main() { print 1; }
+    """)
+    removed = icfg.remove_unreachable()
+    assert removed > 0
+    assert all(n.proc != "unused" for n in icfg.iter_nodes())

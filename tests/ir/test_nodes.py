@@ -1,0 +1,54 @@
+from repro.ir.expr import BinaryExpr, Const, VarExpr, VarId
+from repro.ir.nodes import (AssignNode, BranchNode, CallExitNode, CallNode,
+                            EntryNode, ExitNode, NopNode, PrintNode,
+                            StoreNode)
+
+X = VarId.local("f", "x")
+
+
+def test_executability_classification():
+    assert AssignNode(0, "f", X, Const(1)).is_executable
+    assert BranchNode(0, "f", Const(1)).is_executable
+    assert StoreNode(0, "f", Const(1), Const(2)).is_executable
+    assert PrintNode(0, "f", Const(1)).is_executable
+    assert CallNode(0, "f").is_executable
+    assert not EntryNode(0, "f").is_executable
+    assert not ExitNode(0, "f").is_executable
+    assert not NopNode(0, "f").is_executable
+    assert not CallExitNode(0, "f").is_executable
+
+
+def test_defined_var():
+    assert AssignNode(0, "f", X, Const(1)).defined_var() == X
+    assert CallExitNode(0, "f", result=X).defined_var() == X
+    assert CallExitNode(0, "f").defined_var() is None
+    assert BranchNode(0, "f", Const(1)).defined_var() is None
+
+
+def test_copy_with_id_is_deep_enough():
+    call = CallNode(1, "f", callee="g", args=[VarExpr(X)], entry_id=9,
+                    return_map={5: 6})
+    copy = call.copy_with_id(42)
+    assert copy.id == 42
+    copy.return_map[7] = 8
+    copy.args.append(Const(0))
+    assert call.return_map == {5: 6}
+    assert len(call.args) == 1
+
+
+def test_labels_are_informative():
+    assert "x := 1" in AssignNode(0, "f", X, Const(1)).label()
+    assert "if" in BranchNode(0, "f", VarExpr(X)).label()
+    assert "call g(" in CallNode(0, "f", callee="g").label()
+    assert "$ret" in CallExitNode(0, "f", result=X).label()
+    assert "entry f" == EntryNode(0, "f").label()
+    assert "exit f" == ExitNode(0, "f").label()
+
+
+def test_used_exprs_cover_operands():
+    store = StoreNode(0, "f", VarExpr(X), BinaryExpr("+", Const(1),
+                                                     Const(2)))
+    assert len(store.used_exprs()) == 2
+    call = CallNode(0, "f", callee="g", args=[Const(1), Const(2)])
+    assert len(call.used_exprs()) == 2
+    assert EntryNode(0, "f").used_exprs() == []

@@ -1,0 +1,92 @@
+import pytest
+
+from repro.ir.ops import (RelOp, eval_binary, eval_convert, eval_unary)
+
+
+def test_relop_evaluation_matrix():
+    cases = [
+        (RelOp.EQ, 3, 3, True), (RelOp.EQ, 3, 4, False),
+        (RelOp.NE, 3, 4, True), (RelOp.NE, 3, 3, False),
+        (RelOp.LT, 2, 3, True), (RelOp.LT, 3, 3, False),
+        (RelOp.LE, 3, 3, True), (RelOp.LE, 4, 3, False),
+        (RelOp.GT, 4, 3, True), (RelOp.GT, 3, 3, False),
+        (RelOp.GE, 3, 3, True), (RelOp.GE, 2, 3, False),
+    ]
+    for relop, a, b, expected in cases:
+        assert relop.evaluate(a, b) is expected
+
+
+def test_negated_is_complement_for_all_values():
+    for relop in RelOp:
+        for a in range(-2, 3):
+            for b in range(-2, 3):
+                assert relop.evaluate(a, b) != relop.negated().evaluate(a, b)
+
+
+def test_swapped_flips_operand_order():
+    for relop in RelOp:
+        for a in range(-2, 3):
+            for b in range(-2, 3):
+                assert relop.evaluate(a, b) == relop.swapped().evaluate(b, a)
+
+
+def test_from_symbol_roundtrip():
+    for relop in RelOp:
+        assert RelOp.from_symbol(relop.value) is relop
+
+
+def test_arithmetic_operators():
+    assert eval_binary("+", 2, 3) == 5
+    assert eval_binary("-", 2, 3) == -1
+    assert eval_binary("*", -2, 3) == -6
+
+
+def test_division_truncates_toward_zero_like_c():
+    assert eval_binary("/", 7, 2) == 3
+    assert eval_binary("/", -7, 2) == -3
+    assert eval_binary("/", 7, -2) == -3
+    assert eval_binary("/", -7, -2) == 3
+
+
+def test_modulo_sign_follows_dividend():
+    assert eval_binary("%", 7, 3) == 1
+    assert eval_binary("%", -7, 3) == -1
+    assert eval_binary("%", 7, -3) == 1
+
+
+def test_division_and_modulo_by_zero_are_total():
+    assert eval_binary("/", 5, 0) == 0
+    assert eval_binary("%", 5, 0) == 0
+
+
+def test_logical_operators_yield_zero_one():
+    assert eval_binary("&&", 2, 3) == 1
+    assert eval_binary("&&", 2, 0) == 0
+    assert eval_binary("||", 0, 0) == 0
+    assert eval_binary("||", 0, 7) == 1
+
+
+def test_relational_binary_yields_zero_one():
+    assert eval_binary("<", 1, 2) == 1
+    assert eval_binary(">=", 1, 2) == 0
+
+
+def test_unknown_binary_operator_rejected():
+    with pytest.raises(ValueError):
+        eval_binary("**", 1, 2)
+
+
+def test_unary_operators():
+    assert eval_unary("-", 5) == -5
+    assert eval_unary("!", 0) == 1
+    assert eval_unary("!", 9) == 0
+    with pytest.raises(ValueError):
+        eval_unary("~", 1)
+
+
+def test_convert_masks_to_unsigned_byte():
+    assert eval_convert(0) == 0
+    assert eval_convert(255) == 255
+    assert eval_convert(256) == 0
+    assert eval_convert(-1) == 255
+    assert 0 <= eval_convert(-12345) <= 255

@@ -1,0 +1,40 @@
+from tests.helpers import FGETC_LIKE, build
+
+from repro.ir.printer import dump_icfg, to_dot
+
+
+def test_dump_lists_every_node_once(fgetc_icfg):
+    text = dump_icfg(fgetc_icfg)
+    for node_id in fgetc_icfg.nodes:
+        assert f"[{node_id}]" in text
+
+
+def test_dump_groups_by_procedure(fgetc_icfg):
+    text = dump_icfg(fgetc_icfg)
+    assert text.index("proc fgetc") < text.index("proc main")
+
+
+def test_dump_is_deterministic(fgetc_icfg):
+    assert dump_icfg(fgetc_icfg) == dump_icfg(fgetc_icfg)
+    assert dump_icfg(fgetc_icfg) == dump_icfg(fgetc_icfg.clone())
+
+
+def test_dump_shows_edge_kinds(fgetc_icfg):
+    text = dump_icfg(fgetc_icfg)
+    for kind in ("true->", "false->", "call->", "local->", "return->"):
+        assert kind in text
+
+
+def test_dot_output_has_clusters_and_edges(fgetc_icfg):
+    dot = to_dot(fgetc_icfg)
+    assert dot.startswith("digraph")
+    assert "subgraph cluster_0" in dot
+    assert 'label="fgetc"' in dot
+    assert "->" in dot
+    # Branches are diamonds.
+    assert "shape=diamond" in dot
+
+
+def test_dot_escapes_quotes():
+    icfg = build('proc main() { var x = 1; if (x == 1) { print 1; } }')
+    assert '\\"' not in to_dot(icfg)

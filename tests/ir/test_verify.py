@@ -1,0 +1,118 @@
+import pytest
+
+from tests.helpers import build
+
+from repro.errors import VerificationError
+from repro.ir import verify_icfg
+from repro.ir.icfg import EdgeKind
+from repro.ir.nodes import BranchNode, CallExitNode, CallNode, NopNode
+
+
+SOURCE = """
+proc f(a) { if (a == 0) { return 1; } return 2; }
+proc main() { var x = f(3); print x; }
+"""
+
+
+def test_lowered_program_verifies(fgetc_icfg):
+    verify_icfg(fgetc_icfg)
+
+
+def branch_of(icfg):
+    return [n for n in icfg.iter_nodes() if isinstance(n, BranchNode)][0]
+
+
+def test_detects_branch_missing_false_edge():
+    icfg = build(SOURCE)
+    branch = branch_of(icfg)
+    for edge in icfg.succ_edges(branch.id):
+        if edge.kind is EdgeKind.FALSE:
+            icfg.remove_edge(edge)
+    with pytest.raises(VerificationError, match="branch"):
+        verify_icfg(icfg)
+
+
+def test_detects_flowthrough_with_two_successors():
+    icfg = build(SOURCE)
+    nop = [n for n in icfg.iter_nodes() if isinstance(n, NopNode)][0]
+    other = icfg.procs[nop.proc].exits[0]
+    icfg.add_edge(nop.id, other, EdgeKind.NORMAL)
+    with pytest.raises(VerificationError):
+        verify_icfg(icfg)
+
+
+def test_detects_cross_procedure_normal_edge():
+    icfg = build(SOURCE)
+    main_nodes = [n for n in icfg.iter_nodes()
+                  if n.proc == "main" and isinstance(n, NopNode)]
+    f_exit = icfg.procs["f"].exits[0]
+    source = main_nodes[0] if main_nodes else icfg.nodes[icfg.main_entry()]
+    icfg.add_edge(source.id, f_exit, EdgeKind.NORMAL)
+    with pytest.raises(VerificationError):
+        verify_icfg(icfg)
+
+
+def test_detects_call_exit_without_return_edge():
+    icfg = build(SOURCE)
+    call_exit = [n for n in icfg.iter_nodes()
+                 if isinstance(n, CallExitNode)][0]
+    return_edge = [e for e in icfg.pred_edges(call_exit.id)
+                   if e.kind is EdgeKind.RETURN][0]
+    icfg.remove_edge(return_edge)
+    with pytest.raises(VerificationError, match="call-exit"):
+        verify_icfg(icfg)
+
+
+def test_detects_return_map_value_mismatch():
+    icfg = build(SOURCE)
+    call = [n for n in icfg.iter_nodes() if isinstance(n, CallNode)][0]
+    exit_id = icfg.procs["f"].exits[0]
+    call.return_map[exit_id] = 999999
+    with pytest.raises(VerificationError, match="return_map"):
+        verify_icfg(icfg)
+
+
+def test_detects_missing_return_address_for_reachable_exit():
+    icfg = build(SOURCE)
+    call = [n for n in icfg.iter_nodes() if isinstance(n, CallNode)][0]
+    # Pretend the exit is unmapped by removing both the map entry and
+    # the LOCAL/RETURN edges so value consistency still holds.
+    exit_id = icfg.procs["f"].exits[0]
+    call_exit_id = call.return_map.pop(exit_id)
+    for edge in list(icfg.succ_edges(call.id)):
+        if edge.kind is EdgeKind.LOCAL and edge.dst == call_exit_id:
+            icfg.remove_edge(edge)
+    with pytest.raises(VerificationError):
+        verify_icfg(icfg)
+
+
+def test_detects_call_to_wrong_entry():
+    icfg = build(SOURCE + "proc g() { return 0; }")
+    call = [n for n in icfg.iter_nodes() if isinstance(n, CallNode)][0]
+    call.entry_id = icfg.procs["g"].entries[0]
+    with pytest.raises(VerificationError):
+        verify_icfg(icfg)
+
+
+def test_detects_unregistered_entry_node():
+    icfg = build(SOURCE)
+    icfg.procs["f"].entries.remove(icfg.procs["f"].entries[0])
+    with pytest.raises(VerificationError):
+        verify_icfg(icfg)
+
+
+def test_detects_missing_exit_list():
+    icfg = build(SOURCE)
+    icfg.procs["f"].exits.clear()
+    with pytest.raises(VerificationError, match="no exit"):
+        verify_icfg(icfg)
+
+
+def test_detects_asymmetric_edge_indices():
+    icfg = build(SOURCE)
+    node_id = icfg.main_entry()
+    edge = icfg.succ_edges(node_id)[0]
+    # Corrupt the internal index directly (white-box).
+    icfg._preds[edge.dst].remove(edge)
+    with pytest.raises(VerificationError, match="disagree"):
+        verify_icfg(icfg)

@@ -1,0 +1,83 @@
+import pytest
+
+from repro.errors import LexError
+from repro.lang.lexer import tokenize
+from repro.lang.tokens import TokenKind
+
+
+def kinds(source):
+    return [t.kind for t in tokenize(source)]
+
+
+def test_empty_source_yields_eof():
+    assert kinds("") == [TokenKind.EOF]
+
+
+def test_keywords_and_names_distinguished():
+    tokens = tokenize("proc main while whileish _x")
+    assert [t.kind for t in tokens[:-1]] == [
+        TokenKind.PROC, TokenKind.NAME, TokenKind.WHILE, TokenKind.NAME,
+        TokenKind.NAME]
+    assert tokens[3].text == "whileish"
+
+
+def test_integer_literal_value():
+    token = tokenize("12345")[0]
+    assert token.kind is TokenKind.INT
+    assert token.int_value == 12345
+
+
+def test_int_value_on_non_int_raises():
+    with pytest.raises(ValueError):
+        tokenize("abc")[0].int_value
+
+
+def test_two_char_operators_win_over_one_char():
+    assert kinds("== != <= >= && || =")[:-1] == [
+        TokenKind.EQ, TokenKind.NE, TokenKind.LE, TokenKind.GE,
+        TokenKind.AND, TokenKind.OR, TokenKind.ASSIGN]
+
+
+def test_all_single_char_operators():
+    assert kinds("( ) { } ; , < > + - * / % !")[:-1] == [
+        TokenKind.LPAREN, TokenKind.RPAREN, TokenKind.LBRACE,
+        TokenKind.RBRACE, TokenKind.SEMI, TokenKind.COMMA, TokenKind.LT,
+        TokenKind.GT, TokenKind.PLUS, TokenKind.MINUS, TokenKind.STAR,
+        TokenKind.SLASH, TokenKind.PERCENT, TokenKind.NOT]
+
+
+def test_line_comments_skipped():
+    assert kinds("1 // two three\n2") == [TokenKind.INT, TokenKind.INT,
+                                          TokenKind.EOF]
+
+
+def test_block_comments_skipped_across_lines():
+    assert kinds("1 /* a\nb*c */ 2") == [TokenKind.INT, TokenKind.INT,
+                                         TokenKind.EOF]
+
+
+def test_unterminated_block_comment_raises():
+    with pytest.raises(LexError):
+        tokenize("/* never closed")
+
+
+def test_positions_are_one_based_and_track_newlines():
+    tokens = tokenize("a\n  b")
+    assert (tokens[0].line, tokens[0].column) == (1, 1)
+    assert (tokens[1].line, tokens[1].column) == (2, 3)
+
+
+def test_identifier_starting_with_digit_rejected():
+    with pytest.raises(LexError):
+        tokenize("123abc")
+
+
+def test_unexpected_character_rejected():
+    with pytest.raises(LexError) as excinfo:
+        tokenize("a $ b")
+    assert "$" in str(excinfo.value)
+
+
+def test_single_ampersand_is_an_error():
+    with pytest.raises(LexError):
+        tokenize("a & b")

@@ -1,0 +1,153 @@
+import pytest
+
+from repro.errors import ParseError
+from repro.lang import ast, parse_program
+
+
+def parse(source, check=False):
+    return parse_program(source, check=check)
+
+
+MINIMAL = "proc main() { return 0; }"
+
+
+def test_minimal_program():
+    program = parse(MINIMAL)
+    assert program.proc_names() == ("main",)
+    assert isinstance(program.proc("main").body[0], ast.Return)
+
+
+def test_globals_with_and_without_initializers():
+    program = parse("global a; global b = 3; global c = -7;" + MINIMAL)
+    assert [(g.name, g.init) for g in program.globals] == [
+        ("a", 0), ("b", 3), ("c", -7)]
+
+
+def test_parameters_parsed_in_order():
+    program = parse("proc f(x, y, z) { return x; }" + MINIMAL)
+    assert program.proc("f").params == ["x", "y", "z"]
+
+
+def test_if_else_chain_desugars_to_nested_if():
+    program = parse("""
+        proc main() {
+            var x = 1;
+            if (x == 1) { print 1; }
+            else if (x == 2) { print 2; }
+            else { print 3; }
+        }
+    """)
+    stmt = program.proc("main").body[1]
+    assert isinstance(stmt, ast.If)
+    nested = stmt.else_body[0]
+    assert isinstance(nested, ast.If)
+    assert isinstance(nested.else_body[0], ast.Print)
+
+
+def test_operator_precedence_mul_over_add_over_cmp():
+    program = parse("proc main() { var x = 1 + 2 * 3 < 10; }")
+    decl = program.proc("main").body[0]
+    cmp_expr = decl.init
+    assert isinstance(cmp_expr, ast.Binary) and cmp_expr.op == "<"
+    add = cmp_expr.left
+    assert isinstance(add, ast.Binary) and add.op == "+"
+    assert isinstance(add.right, ast.Binary) and add.right.op == "*"
+
+
+def test_logical_operators_bind_looser_than_comparison():
+    program = parse("proc main() { var x = 1 < 2 && 3 == 3 || 0 > 1; }")
+    expr = program.proc("main").body[0].init
+    assert isinstance(expr, ast.Binary) and expr.op == "||"
+    assert expr.left.op == "&&"
+
+
+def test_chained_comparison_rejected():
+    with pytest.raises(ParseError):
+        parse("proc main() { var x = 1 < 2 < 3; }")
+
+
+def test_unary_minus_on_literal_folds():
+    program = parse("proc main() { var x = -5; }")
+    assert program.proc("main").body[0].init == ast.IntLit(value=-5)
+
+
+def test_unary_not_kept():
+    program = parse("proc main() { var x = 0; if (!x) { print 1; } }")
+    cond = program.proc("main").body[1].cond
+    assert isinstance(cond, ast.Unary) and cond.op == "!"
+
+
+def test_unsigned_cast_parses():
+    program = parse("proc main() { var x = (unsigned) 300; }")
+    assert isinstance(program.proc("main").body[0].init, ast.UnsignedCast)
+
+
+def test_parenthesized_expression_is_transparent():
+    program = parse("proc main() { var x = (1 + 2) * 3; }")
+    expr = program.proc("main").body[0].init
+    assert expr.op == "*" and expr.left.op == "+"
+
+
+def test_call_statement_and_call_expression():
+    program = parse("""
+        proc f(a) { return a; }
+        proc main() { f(1); var x = f(2) + 1; }
+    """)
+    body = program.proc("main").body
+    assert isinstance(body[0], ast.CallStmt)
+    assert isinstance(body[1].init.left, ast.CallExpr)
+
+
+def test_intrinsics_parse():
+    program = parse("""
+        proc main() {
+            var p = alloc(2);
+            store(p, input());
+            var v = load(p + 1);
+        }
+    """)
+    body = program.proc("main").body
+    assert isinstance(body[0].init, ast.AllocExpr)
+    assert isinstance(body[1], ast.StoreStmt)
+    assert isinstance(body[1].value, ast.InputExpr)
+    assert isinstance(body[2].init, ast.LoadExpr)
+
+
+def test_break_continue_return_forms():
+    program = parse("""
+        proc main() {
+            while (1) { break; }
+            while (1) { continue; }
+            return;
+        }
+    """)
+    body = program.proc("main").body
+    assert isinstance(body[0].body[0], ast.Break)
+    assert isinstance(body[1].body[0], ast.Continue)
+    assert body[2].value is None
+
+
+def test_missing_semicolon_reports_position():
+    with pytest.raises(ParseError) as excinfo:
+        parse("proc main() { print 1 }")
+    assert excinfo.value.line == 1
+
+
+def test_unterminated_block_rejected():
+    with pytest.raises(ParseError):
+        parse("proc main() { print 1;")
+
+
+def test_garbage_at_top_level_rejected():
+    with pytest.raises(ParseError):
+        parse("flobble;")
+
+
+def test_name_without_assign_or_call_rejected():
+    with pytest.raises(ParseError):
+        parse("proc main() { x; }")
+
+
+def test_program_lookup_raises_for_unknown_proc():
+    with pytest.raises(KeyError):
+        parse(MINIMAL).proc("ghost")

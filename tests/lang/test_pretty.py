@@ -1,0 +1,65 @@
+from repro.lang import parse_program, pretty_print
+from repro.lang.pretty import count_source_lines
+
+
+ROUNDTRIP_SOURCES = [
+    "proc main() { return 0; }",
+    "global g = -3; proc main() { print g; }",
+    """
+    proc f(a, b) {
+        var c = a * b - 2;
+        if (c > 0 && a != b) { return c; } else { return -c; }
+    }
+    proc main() {
+        var i = 0;
+        while (i < 5) {
+            if (i == 3) { break; }
+            i = i + 1;
+            continue;
+        }
+        print f(i, 2);
+        return i;
+    }
+    """,
+    """
+    proc main() {
+        var p = alloc(2);
+        store(p, (unsigned) input());
+        var v = load(p);
+        print !v;
+        print -v;
+        return v % 3;
+    }
+    """,
+]
+
+
+def test_pretty_output_reparses_to_fixed_point():
+    for source in ROUNDTRIP_SOURCES:
+        first = pretty_print(parse_program(source))
+        second = pretty_print(parse_program(first))
+        assert first == second
+
+
+def test_negative_literals_roundtrip():
+    source = "proc main() { var x = -42; return -1; }"
+    text = pretty_print(parse_program(source))
+    assert "-42" in text
+    reparsed = pretty_print(parse_program(text))
+    assert reparsed == text
+
+
+def test_else_branch_only_printed_when_present():
+    text = pretty_print(parse_program(
+        "proc main() { var x = 0; if (x == 0) { print 1; } }"))
+    assert "else" not in text
+
+
+def test_binary_operators_fully_parenthesized():
+    text = pretty_print(parse_program("proc main() { var x = 1 + 2 * 3; }"))
+    assert "(1 + (2 * 3))" in text
+
+
+def test_count_source_lines_ignores_blank_lines():
+    program = parse_program("global g;\n\nproc main() { return g; }")
+    assert count_source_lines(program) == 4  # global, proc, return, brace

@@ -1,0 +1,109 @@
+import pytest
+
+from repro.errors import SemanticError
+from repro.lang import parse_program
+
+
+def check(source):
+    parse_program(source, check=True)
+
+
+def test_valid_program_passes():
+    check("""
+        global g = 1;
+        proc helper(x) { return x + g; }
+        proc main() { var y = helper(2); print y; }
+    """)
+
+
+def test_missing_main_rejected():
+    with pytest.raises(SemanticError, match="main"):
+        check("proc f() { return 0; }")
+
+
+def test_main_with_params_rejected():
+    with pytest.raises(SemanticError, match="main"):
+        check("proc main(x) { return 0; }")
+
+
+def test_duplicate_procedure_rejected():
+    with pytest.raises(SemanticError, match="duplicate procedure"):
+        check("proc f() { return 0; } proc f() { return 1; } "
+              "proc main() { return 0; }")
+
+
+def test_duplicate_global_rejected():
+    with pytest.raises(SemanticError, match="duplicate global"):
+        check("global g; global g; proc main() { return 0; }")
+
+
+def test_duplicate_parameter_rejected():
+    with pytest.raises(SemanticError, match="duplicate parameter"):
+        check("proc f(a, a) { return 0; } proc main() { return 0; }")
+
+
+def test_duplicate_local_rejected():
+    with pytest.raises(SemanticError, match="duplicate local"):
+        check("proc main() { var x; var x; }")
+
+
+def test_local_shadowing_parameter_rejected():
+    with pytest.raises(SemanticError, match="duplicate local"):
+        check("proc f(a) { var a; return 0; } proc main() { return 0; }")
+
+
+def test_undeclared_variable_rejected():
+    with pytest.raises(SemanticError, match="undeclared"):
+        check("proc main() { x = 1; }")
+
+
+def test_undeclared_in_expression_rejected():
+    with pytest.raises(SemanticError, match="undeclared"):
+        check("proc main() { print missing; }")
+
+
+def test_function_level_scoping_allows_use_across_branches():
+    # Declared inside the then-branch, used after: function-level scope.
+    check("""
+        proc main() {
+            var c = 1;
+            if (c == 1) { var t = 5; } else { }
+            print t;
+        }
+    """)
+
+
+def test_local_may_shadow_global():
+    check("global g; proc main() { var g = 1; print g; }")
+
+
+def test_call_to_unknown_procedure_rejected():
+    with pytest.raises(SemanticError, match="undefined procedure"):
+        check("proc main() { ghost(); }")
+
+
+def test_arity_mismatch_rejected():
+    with pytest.raises(SemanticError, match="expects 2 argument"):
+        check("proc f(a, b) { return a; } proc main() { var x = f(1); }")
+
+
+def test_break_outside_loop_rejected():
+    with pytest.raises(SemanticError, match="break"):
+        check("proc main() { break; }")
+
+
+def test_continue_outside_loop_rejected():
+    with pytest.raises(SemanticError, match="continue"):
+        check("proc main() { if (1 == 1) { continue; } }")
+
+
+def test_break_inside_nested_if_in_loop_allowed():
+    check("""
+        proc main() {
+            var i = 0;
+            while (i < 3) {
+                if (i == 1) { break; }
+                i = i + 1;
+            }
+        }
+    """)

@@ -1,0 +1,102 @@
+"""Exhaustive checks of MiniC's documented expression semantics.
+
+docs/LANGUAGE.md makes precise promises (total division, C-style signs,
+short-circuit vs eager logicals, cast range...); this module verifies
+them by executing programs, not by unit-testing the evaluator — so the
+lexer, parser, lowering, and interpreter are all on the hook.
+"""
+
+import pytest
+
+from tests.helpers import run
+
+
+def evaluate(expr_text, inputs=None):
+    result = run(f"proc main() {{ print {expr_text}; }}", inputs)
+    assert result.status == "ok", result.fault_message
+    return result.output[0]
+
+
+@pytest.mark.parametrize("a", [-7, -1, 0, 1, 7])
+@pytest.mark.parametrize("b", [-3, -1, 0, 1, 3])
+def test_division_matrix(a, b):
+    expected = 0 if b == 0 else int(a / b)  # truncation toward zero
+    assert evaluate(f"{a} / {b}") == expected
+
+
+@pytest.mark.parametrize("a", [-7, -1, 0, 1, 7])
+@pytest.mark.parametrize("b", [-3, -1, 0, 1, 3])
+def test_modulo_matrix(a, b):
+    if b == 0:
+        expected = 0
+    else:
+        expected = abs(a) % abs(b)
+        if a < 0:
+            expected = -expected
+    assert evaluate(f"{a} % {b}") == expected
+
+
+def test_precedence_promises():
+    assert evaluate("1 + 2 * 3") == 7
+    assert evaluate("(1 + 2) * 3") == 9
+    assert evaluate("10 - 4 - 3") == 3          # left associative
+    assert evaluate("2 * 3 % 4") == 2           # same tier, left to right
+    assert evaluate("1 < 2 && 2 < 1 || 1 == 1") == 1
+
+
+def test_comparison_yields_zero_one():
+    assert evaluate("5 > 3") == 1
+    assert evaluate("5 < 3") == 0
+
+
+def test_unsigned_cast_range_promise():
+    for value in (-300, -1, 0, 5, 255, 256, 1000):
+        low_byte = value & 0xFF
+        assert evaluate(f"(unsigned) {value}") == low_byte
+
+
+def test_shortcircuit_in_condition_skips_effects():
+    # The right operand's input() must not run when the left decides.
+    result = run("""
+        proc main() {
+            if (0 == 1 && input() == 1) { print -1; }
+            print input();
+        }
+    """, [42])
+    assert result.output == [42]
+
+
+def test_eager_logical_in_expression_consumes_effects():
+    result = run("""
+        proc main() {
+            var x = (0 == 1) && (input() == 1);
+            print x;
+            print input();
+        }
+    """, [42, 7])
+    # input() ran inside the eager &&, so the next read sees 7.
+    assert result.output == [0, 7]
+
+
+def test_truthiness_of_bare_values():
+    result = run("""
+        proc main() {
+            if (-5) { print 1; } else { print 0; }
+            if (0)  { print 1; } else { print 0; }
+        }
+    """)
+    assert result.output == [1, 0]
+
+
+def test_fall_off_end_returns_zero():
+    result = run("proc f() { print 1; } proc main() { print f(); }")
+    assert result.output == [1, 0]
+
+
+def test_globals_initialized_before_main():
+    result = run("""
+        global a = 2;
+        global b;
+        proc main() { print a; print b; }
+    """)
+    assert result.output == [2, 0]

@@ -1,0 +1,105 @@
+"""Property-based validation of the value-set decision procedure.
+
+The fact algebra is the soundness kernel of the whole analysis: a wrong
+``decide`` silently miscompiles programs.  These properties check it
+against brute-force set semantics on a finite window (all constructible
+sets in the tests are bounded within the window or have their unbounded
+behaviour covered by construction).
+"""
+
+from hypothesis import given, settings, strategies as st
+
+from repro.analysis.facts import ValueSet, decide
+from repro.ir.ops import RelOp
+
+WINDOW = 40
+
+bounds = st.integers(-15, 15)
+consts = st.integers(-12, 12)
+relops = st.sampled_from(list(RelOp))
+
+
+@st.composite
+def value_sets(draw):
+    shape = draw(st.sampled_from(["interval", "copoint", "half_lo",
+                                  "half_hi", "interval_excl"]))
+    if shape == "interval":
+        lo = draw(bounds)
+        hi = draw(st.integers(lo, 15))
+        return ValueSet(lo, hi)
+    if shape == "interval_excl":
+        lo = draw(bounds)
+        hi = draw(st.integers(lo, 15))
+        return ValueSet(lo, hi, exclude=draw(st.integers(lo, hi)))
+    if shape == "copoint":
+        return ValueSet.everything_but(draw(bounds))
+    if shape == "half_lo":
+        return ValueSet(lo=draw(bounds), exclude=draw(bounds))
+    return ValueSet(hi=draw(bounds), exclude=draw(bounds))
+
+
+def members(value_set, window=WINDOW):
+    return {v for v in range(-window, window + 1) if value_set.contains(v)}
+
+
+@given(value_sets(), relops, consts)
+@settings(max_examples=300)
+def test_decide_is_sound(fact, relop, const):
+    """If decide() answers, every member of the fact agrees."""
+    verdict = decide(fact, relop, const)
+    outcomes = {relop.evaluate(v, const) for v in members(fact)}
+    if verdict is True:
+        assert outcomes <= {True}
+    elif verdict is False:
+        assert outcomes <= {False}
+
+
+@given(value_sets(), relops, consts)
+@settings(max_examples=300)
+def test_decide_is_complete_on_window(fact, relop, const):
+    """If all window members agree AND the fact is bounded, decide()
+    must answer (completeness of the subset/disjoint tests)."""
+    if not fact.is_bounded:
+        return
+    outcomes = {relop.evaluate(v, const) for v in members(fact)}
+    if len(outcomes) == 1 and members(fact):
+        assert decide(fact, relop, const) is (outcomes == {True})
+
+
+@given(value_sets(), value_sets())
+@settings(max_examples=300)
+def test_subset_agrees_with_member_sets(a, b):
+    if a.is_subset_of(b):
+        assert members(a) <= members(b)
+
+
+@given(value_sets(), value_sets())
+@settings(max_examples=300)
+def test_disjoint_agrees_with_member_sets(a, b):
+    if a.is_disjoint_from(b):
+        assert not (members(a) & members(b))
+
+
+@given(value_sets(), value_sets())
+@settings(max_examples=300)
+def test_subset_complete_for_bounded_sets(a, b):
+    """For bounded sets the window is the whole universe, so the
+    brute-force answer must match exactly."""
+    if a.is_bounded and b.is_bounded:
+        assert a.is_subset_of(b) == (members(a) <= members(b))
+        assert a.is_disjoint_from(b) == (not (members(a) & members(b)))
+
+
+@given(value_sets())
+@settings(max_examples=200)
+def test_subset_reflexive_disjoint_irreflexive(a):
+    assert a.is_subset_of(a)
+    if members(a):
+        assert not a.is_disjoint_from(a)
+
+
+@given(relops, consts, st.integers(-30, 30))
+@settings(max_examples=300)
+def test_from_relop_membership_matches_evaluation(relop, const, value):
+    assert (ValueSet.from_relop(relop, const).contains(value)
+            == relop.evaluate(value, const))

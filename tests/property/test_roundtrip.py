@@ -1,0 +1,34 @@
+"""Property: the front end round-trips and lowers any generated program."""
+
+from hypothesis import given, settings, strategies as st
+
+from repro.benchgen import GeneratorOptions, generate_program
+from repro.ir import lower_program, verify_icfg
+from repro.lang import parse_program, pretty_print
+
+seeds = st.integers(0, 10_000)
+
+
+@given(seeds)
+@settings(max_examples=40, deadline=None)
+def test_pretty_parse_fixed_point(seed):
+    program = generate_program(seed)
+    text = pretty_print(program)
+    assert pretty_print(parse_program(text)) == text
+
+
+@given(seeds)
+@settings(max_examples=40, deadline=None)
+def test_generated_programs_lower_to_wellformed_icfg(seed):
+    options = GeneratorOptions(procedures=3, statements_per_proc=6)
+    icfg = lower_program(generate_program(seed, options))
+    verify_icfg(icfg)
+
+
+@given(seeds)
+@settings(max_examples=25, deadline=None)
+def test_clone_preserves_dump(seed):
+    options = GeneratorOptions(procedures=3, statements_per_proc=5)
+    icfg = lower_program(generate_program(seed, options))
+    from repro.ir import dump_icfg
+    assert dump_icfg(icfg.clone()) == dump_icfg(icfg)

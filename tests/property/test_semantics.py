@@ -1,0 +1,56 @@
+"""The headline safety property, checked by differential execution:
+
+for any generated program and any workload, the ICBE-optimized program
+(interprocedural or baseline) produces exactly the same observable
+behaviour, executes no more operations, and executes no more
+conditional branches (paper §3.3).
+"""
+
+from hypothesis import given, settings, strategies as st
+
+from repro.analysis import AnalysisConfig
+from repro.benchgen import GeneratorOptions, generate_program
+from repro.interp import Workload, run_icfg
+from repro.ir import lower_program, verify_icfg
+from repro.transform import ICBEOptimizer, OptimizerOptions
+
+OPTIONS = GeneratorOptions(procedures=4, statements_per_proc=7, max_depth=3)
+
+
+def optimize(icfg, interprocedural):
+    optimizer = ICBEOptimizer(OptimizerOptions(
+        config=AnalysisConfig(interprocedural=interprocedural, budget=2000),
+        duplication_limit=120))
+    report = optimizer.optimize(icfg)
+    verify_icfg(report.optimized)
+    return report.optimized
+
+
+@given(st.integers(0, 5_000), st.integers(0, 100))
+@settings(max_examples=12, deadline=None)
+def test_interprocedural_optimization_preserves_semantics(seed, wseed):
+    icfg = lower_program(generate_program(seed, OPTIONS))
+    optimized = optimize(icfg, interprocedural=True)
+    workload = Workload.random(50, seed=wseed)
+    before = run_icfg(icfg, workload)
+    after = run_icfg(optimized, workload)
+    assert after.observable == before.observable
+    if before.status == "ok":
+        assert (after.profile.executed_operations
+                <= before.profile.executed_operations)
+        assert (after.profile.executed_conditionals
+                <= before.profile.executed_conditionals)
+
+
+@given(st.integers(5_001, 9_000), st.integers(0, 100))
+@settings(max_examples=8, deadline=None)
+def test_intraprocedural_baseline_preserves_semantics(seed, wseed):
+    icfg = lower_program(generate_program(seed, OPTIONS))
+    optimized = optimize(icfg, interprocedural=False)
+    workload = Workload.random(50, seed=wseed)
+    before = run_icfg(icfg, workload)
+    after = run_icfg(optimized, workload)
+    assert after.observable == before.observable
+    if before.status == "ok":
+        assert (after.profile.executed_operations
+                <= before.profile.executed_operations)

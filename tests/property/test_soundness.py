@@ -1,0 +1,62 @@
+"""Analysis soundness, checked dynamically.
+
+The rollback answers at a conditional enumerate what can happen on
+incoming paths: TRUE means "some paths provably take the branch",
+UNDEF means "some paths are unknown".  Soundness is the converse
+direction: a dynamic outcome that the answer set does not allow is a
+bug.  Concretely, if UNDEF is absent then every observed outcome must
+be covered by a TRUE/FALSE answer.
+"""
+
+from hypothesis import given, settings, strategies as st
+
+from repro.analysis import AnalysisConfig, analyze_branch
+from repro.benchgen import GeneratorOptions, generate_program
+from repro.interp import Workload, run_icfg
+from repro.ir import lower_program
+
+OPTIONS = GeneratorOptions(procedures=3, statements_per_proc=7)
+CONFIG = AnalysisConfig(budget=20_000)
+
+
+@given(st.integers(0, 4_000), st.integers(0, 50))
+@settings(max_examples=15, deadline=None)
+def test_branch_answers_cover_dynamic_outcomes(seed, wseed):
+    icfg = lower_program(generate_program(seed, OPTIONS))
+    result = run_icfg(icfg, Workload.random(40, seed=wseed))
+    if result.status != "ok":
+        return
+    profile = result.profile
+    for branch in icfg.branch_nodes():
+        taken = profile.branch_true.get(branch.id, 0)
+        not_taken = profile.branch_false.get(branch.id, 0)
+        if taken == 0 and not_taken == 0:
+            continue
+        analysis = analyze_branch(icfg, branch.id, CONFIG)
+        if not analysis.analyzable:
+            continue
+        kinds = {a.kind for a in analysis.branch_answers}
+        if "undef" in kinds:
+            continue  # anything is allowed
+        if taken > 0:
+            assert "true" in kinds, (
+                f"branch {branch.id} ({branch.label()}) was taken but "
+                f"answers are {kinds}")
+        if not_taken > 0:
+            assert "false" in kinds, (
+                f"branch {branch.id} ({branch.label()}) fell through but "
+                f"answers are {kinds}")
+
+
+@given(st.integers(0, 4_000))
+@settings(max_examples=10, deadline=None)
+def test_analysis_is_deterministic(seed):
+    icfg = lower_program(generate_program(seed, OPTIONS))
+    branches = icfg.branch_nodes()
+    if not branches:
+        return
+    branch = branches[len(branches) // 2]
+    first = analyze_branch(icfg, branch.id, CONFIG)
+    second = analyze_branch(icfg, branch.id, CONFIG)
+    assert first.branch_answers == second.branch_answers
+    assert first.stats.pairs_examined == second.stats.pairs_examined

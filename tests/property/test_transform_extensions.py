@@ -1,0 +1,44 @@
+"""Property tests for the transformation extensions: the inliner and
+the nop simplifier preserve semantics on arbitrary generated programs."""
+
+from hypothesis import given, settings, strategies as st
+
+from repro.benchgen import GeneratorOptions, generate_program
+from repro.interp import Workload, run_icfg
+from repro.ir import lower_program, verify_icfg
+from repro.ir.simplify import simplify_nops
+from repro.transform.inline import inline_exhaustively
+
+OPTIONS = GeneratorOptions(procedures=3, statements_per_proc=6)
+
+
+@given(st.integers(0, 4_000), st.integers(0, 60))
+@settings(max_examples=10, deadline=None)
+def test_exhaustive_inlining_preserves_semantics(seed, wseed):
+    icfg = lower_program(generate_program(seed, OPTIONS))
+    flattened = icfg.clone()
+    inline_exhaustively(flattened, node_budget=6_000)
+    verify_icfg(flattened)
+    workload = Workload.random(40, seed=wseed)
+    before = run_icfg(icfg, workload)
+    after = run_icfg(flattened, workload)
+    assert after.observable == before.observable
+
+
+@given(st.integers(0, 4_000), st.integers(0, 60))
+@settings(max_examples=15, deadline=None)
+def test_simplify_preserves_semantics_and_counts(seed, wseed):
+    icfg = lower_program(generate_program(seed, OPTIONS))
+    simplified = icfg.clone()
+    removed = simplify_nops(simplified)
+    verify_icfg(simplified)
+    assert simplified.executable_node_count() == icfg.executable_node_count()
+    assert simplified.node_count() == icfg.node_count() - removed
+    workload = Workload.random(40, seed=wseed)
+    before = run_icfg(icfg, workload)
+    after = run_icfg(simplified, workload)
+    assert after.observable == before.observable
+    if before.status == "ok":
+        # Dummy removal never changes operation counts.
+        assert (after.profile.executed_operations
+                == before.profile.executed_operations)

@@ -1,0 +1,47 @@
+"""The README/module-docstring quickstart must actually work."""
+
+import repro
+
+
+def test_all_exports_resolve():
+    for name in repro.__all__:
+        assert getattr(repro, name) is not None
+
+
+def test_quickstart_flow():
+    source = """
+        proc check(v) {
+            if (v == 0) { return 1; }
+            return 0;
+        }
+        proc main() {
+            var v = input();
+            if (v != 0) {
+                var bad = check(v);
+                if (bad == 1) { print -1; } else { print v; }
+            }
+            return 0;
+        }
+    """
+    icfg = repro.lower_program(repro.parse_program(source))
+    before = repro.run_icfg(icfg, repro.Workload([7]))
+
+    optimizer = repro.ICBEOptimizer(repro.OptimizerOptions(
+        config=repro.AnalysisConfig(interprocedural=True),
+        duplication_limit=100))
+    report = optimizer.optimize(icfg)
+    after = repro.run_icfg(report.optimized, repro.Workload([7]))
+
+    assert after.observable == before.observable
+    assert (after.profile.executed_conditionals
+            <= before.profile.executed_conditionals)
+    assert report.optimized_count >= 1
+
+
+def test_analyze_branch_is_exported():
+    source = "proc main() { var x = 1; if (x == 1) { print 1; } }"
+    icfg = repro.lower_program(repro.parse_program(source))
+    branch = icfg.branch_nodes()[0]
+    result = repro.analyze_branch(icfg, branch.id)
+    assert result.fully_correlated
+    assert repro.duplication_upper_bound(result) == 0

@@ -1,0 +1,100 @@
+import pytest
+
+from repro.cli import main
+
+
+@pytest.fixture
+def program_file(tmp_path):
+    path = tmp_path / "prog.mc"
+    path.write_text("""
+        proc classify(v) {
+            if (v <= 0) { return -1; }
+            return (unsigned) v;
+        }
+        proc main() {
+            var r = classify(input());
+            if (r == -1) { print 0; } else { print r; }
+            return 0;
+        }
+    """)
+    return str(path)
+
+
+def test_run_prints_output_and_exit(program_file, capsys):
+    code = main(["run", program_file, "--input", "5"])
+    captured = capsys.readouterr()
+    assert code == 0
+    assert captured.out.strip() == "5"
+    assert "status: ok" in captured.err
+
+
+def test_run_reports_fault_status(tmp_path, capsys):
+    path = tmp_path / "bad.mc"
+    path.write_text("proc main() { var x = load(0); }")
+    assert main(["run", str(path)]) == 1
+    assert "fault" in capsys.readouterr().err
+
+
+def test_dump_text_and_dot(program_file, capsys):
+    assert main(["dump", program_file]) == 0
+    out = capsys.readouterr().out
+    assert "proc main" in out and "call classify" in out
+    assert main(["dump", program_file, "--dot"]) == 0
+    assert capsys.readouterr().out.startswith("digraph")
+
+
+def test_analyze_lists_conditionals(program_file, capsys):
+    assert main(["analyze", program_file]) == 0
+    out = capsys.readouterr().out
+    assert "r == -1" in out
+    assert "TRUE" in out and "FALSE" in out
+
+
+def test_analyze_intra_flag(program_file, capsys):
+    assert main(["analyze", program_file, "--intra"]) == 0
+    out = capsys.readouterr().out
+    assert "UNDEF" in out
+
+
+def test_optimize_reports_reduction(program_file, capsys):
+    assert main(["optimize", program_file, "--input", "3"]) == 0
+    out = capsys.readouterr().out
+    assert "conditionals optimized:" in out
+    assert "identical" in out
+    assert "bug" not in out
+
+
+def test_optimize_emit_dumps_graph(program_file, capsys):
+    assert main(["optimize", program_file, "--emit"]) == 0
+    assert "proc classify" in capsys.readouterr().out
+
+
+def test_unknown_experiment_rejected(capsys):
+    assert main(["experiment", "nonsense"]) == 2
+
+
+def test_inline_subcommand(program_file, capsys):
+    assert main(["inline", program_file, "--input", "4"]) == 0
+    out = capsys.readouterr().out
+    assert "inlined 1 call sites" in out
+    assert "identical" in out
+
+
+def test_inline_emit_has_no_calls_left(program_file, capsys):
+    assert main(["inline", program_file, "--emit"]) == 0
+    out = capsys.readouterr().out
+    assert "call classify" not in out
+
+
+def test_predict_subcommand(program_file, capsys):
+    assert main(["predict", program_file]) == 0
+    out = capsys.readouterr().out
+    assert "predict" in out
+    assert "r == -1" in out
+
+
+def test_analyze_dot_overlay(program_file, capsys):
+    assert main(["analyze", program_file, "--dot"]) == 0
+    out = capsys.readouterr().out
+    assert out.startswith("digraph")
+    assert "palegreen" in out  # the fully correlated re-check

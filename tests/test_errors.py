@@ -1,0 +1,57 @@
+"""Error reporting quality: positions, messages, and catchability."""
+
+import pytest
+
+from repro import errors
+from repro.lang import parse_program
+from repro.lang.lexer import tokenize
+
+
+def test_lex_error_carries_position():
+    with pytest.raises(errors.LexError) as excinfo:
+        tokenize("ab\ncd $")
+    assert excinfo.value.line == 2
+    assert excinfo.value.column == 4
+    assert "2:4" in str(excinfo.value)
+
+
+def test_parse_error_carries_position():
+    with pytest.raises(errors.ParseError) as excinfo:
+        parse_program("proc main() {\n  print 1\n}")
+    assert excinfo.value.line == 3  # the '}' where ';' was expected
+
+
+def test_semantic_error_names_procedure_and_line():
+    with pytest.raises(errors.SemanticError) as excinfo:
+        parse_program("proc main() {\n  ghost = 1;\n}")
+    message = str(excinfo.value)
+    assert "main" in message and "ghost" in message
+
+
+def test_all_frontend_errors_catchable_as_repro_error():
+    bad_sources = [
+        "proc main() { $ }",            # lex
+        "proc main() { print 1 }",       # parse
+        "proc main() { x = 1; }",        # sema
+    ]
+    for source in bad_sources:
+        with pytest.raises(errors.ReproError):
+            parse_program(source)
+
+
+def test_analysis_error_for_non_branch_node():
+    from repro.analysis import analyze_branch
+    from repro.ir import lower_program
+    icfg = lower_program(parse_program("proc main() { return 0; }"))
+    with pytest.raises(errors.AnalysisError):
+        analyze_branch(icfg, icfg.main_entry())
+
+
+def test_interpreter_error_messages_name_the_fault():
+    from repro.interp import Workload, run_icfg
+    from repro.ir import lower_program
+    icfg = lower_program(parse_program(
+        "proc main() { store(0, 1); }"))
+    result = run_icfg(icfg, Workload([]))
+    assert result.status == "fault"
+    assert "null pointer store" in result.fault_message

@@ -1,0 +1,27 @@
+"""Every shipped example must run clean (each asserts its own claims)."""
+
+import importlib.util
+import pathlib
+
+import pytest
+
+EXAMPLES = sorted(
+    (pathlib.Path(__file__).resolve().parent.parent / "examples")
+    .glob("*.py"))
+
+
+@pytest.mark.parametrize("path", EXAMPLES, ids=lambda p: p.stem)
+def test_example_runs(path, capsys):
+    spec = importlib.util.spec_from_file_location(f"example_{path.stem}",
+                                                  path)
+    module = importlib.util.module_from_spec(spec)
+    spec.loader.exec_module(module)
+    module.main()
+    out = capsys.readouterr().out
+    assert out.strip(), "examples should narrate what they show"
+
+
+def test_at_least_four_examples_ship():
+    assert len(EXAMPLES) >= 4
+    names = {p.stem for p in EXAMPLES}
+    assert "quickstart" in names

@@ -1,0 +1,83 @@
+"""The profile-guided benefit heuristic (paper §4's closing remark)."""
+
+from tests.helpers import build
+
+from repro.analysis import AnalysisConfig
+from repro.interp import Workload, run_icfg
+from repro.transform import (BranchOutcome, ICBEOptimizer, OptimizerOptions,
+                             restructure_branch)
+from repro.ir.nodes import BranchNode
+
+
+# A correlated conditional that executes exactly once but needs real
+# duplication: poor cost-effectiveness.
+COLD_SOURCE = """
+proc main() {
+    var c = input();
+    var x = 0;
+    if (c > 0) { x = 1; }
+    print c; print c; print c;
+    if (x == 1) { print 1; }
+    return 0;
+}
+"""
+
+# The same correlation inside a hot loop: good cost-effectiveness.
+HOT_SOURCE = """
+proc main() {
+    var c = input();
+    var x = 0;
+    if (c > 0) { x = 1; }
+    var i = 0;
+    while (i < 50) {
+        if (x == 1) { print 1; } else { print 0; }
+        i = i + 1;
+    }
+    return 0;
+}
+"""
+
+
+def gated_outcome(source, min_benefit):
+    icfg = build(source)
+    profile = run_icfg(icfg, Workload([5])).profile
+    branch = [b for b in icfg.branch_nodes() if "x == 1" in b.label()][0]
+    result = restructure_branch(icfg, branch.id, AnalysisConfig(),
+                                profile=profile,
+                                min_benefit_per_node=min_benefit)
+    return result.outcome
+
+
+def test_cold_conditional_rejected_by_benefit_gate():
+    assert gated_outcome(COLD_SOURCE, min_benefit=2.0) is \
+        BranchOutcome.LOW_BENEFIT
+
+
+def test_hot_conditional_passes_same_gate():
+    assert gated_outcome(HOT_SOURCE, min_benefit=2.0) is \
+        BranchOutcome.OPTIMIZED
+
+
+def test_gate_disabled_when_profile_missing():
+    icfg = build(COLD_SOURCE)
+    branch = [b for b in icfg.branch_nodes() if "x == 1" in b.label()][0]
+    result = restructure_branch(icfg, branch.id, AnalysisConfig(),
+                                min_benefit_per_node=100.0)  # no profile
+    assert result.applied
+
+
+def test_pipeline_benefit_gate_reduces_growth():
+    icfg = build(HOT_SOURCE + """
+        // appended cold second procedure exercised once
+    """.replace("//", "//"))
+    profile = run_icfg(icfg, Workload([5])).profile
+    free = ICBEOptimizer(OptimizerOptions(
+        config=AnalysisConfig())).optimize(icfg)
+    gated = ICBEOptimizer(OptimizerOptions(
+        config=AnalysisConfig(), profile=profile,
+        min_benefit_per_node=1000.0)).optimize(icfg)
+    # An absurdly demanding gate blocks everything.
+    assert gated.optimized_count <= free.optimized_count
+    assert gated.nodes_after <= free.nodes_after
+    outcomes = {r.outcome for r in gated.records}
+    assert BranchOutcome.LOW_BENEFIT in outcomes

@@ -1,0 +1,211 @@
+import pytest
+
+from tests.helpers import FGETC_LIKE, build, check_equivalent
+
+from repro.errors import TransformError
+from repro.ir import verify_icfg
+from repro.ir.nodes import CallNode
+from repro.transform.inline import (inline_call, inline_exhaustively,
+                                    _recursive_procs)
+
+
+def calls_to(icfg, callee):
+    return [n for n in icfg.call_nodes() if n.callee == callee]
+
+
+def test_inline_simple_call_preserves_semantics():
+    source = """
+        proc double(x) { return x * 2; }
+        proc main() {
+            var a = input();
+            var b = double(a + 1);
+            print b;
+            return 0;
+        }
+    """
+    icfg = build(source)
+    original = icfg.clone()
+    inline_call(icfg, calls_to(icfg, "double")[0].id)
+    verify_icfg(icfg)
+    assert not calls_to(icfg, "double")
+    check_equivalent(original, icfg, [[3], [-1], [0]])
+
+
+def test_inline_call_with_branches_and_result():
+    icfg = build(FGETC_LIKE)
+    original = icfg.clone()
+    target = calls_to(icfg, "fgetc")[0]
+    inline_call(icfg, target.id)
+    verify_icfg(icfg)
+    check_equivalent(original, icfg, [[], [4, 0], [1, 2, 0]])
+
+
+def test_inline_call_for_effect_without_result():
+    source = """
+        global g = 0;
+        proc bump() { g = g + 1; return g; }
+        proc main() { bump(); bump(); print g; return 0; }
+    """
+    icfg = build(source)
+    original = icfg.clone()
+    inline_call(icfg, calls_to(icfg, "bump")[0].id)
+    verify_icfg(icfg)
+    check_equivalent(original, icfg, [[]])
+
+
+def test_inline_nested_calls_are_preserved():
+    source = """
+        proc inner(v) { return v + 1; }
+        proc outer(v) { return inner(v) * 2; }
+        proc main() { print outer(input()); return 0; }
+    """
+    icfg = build(source)
+    original = icfg.clone()
+    inline_call(icfg, calls_to(icfg, "outer")[0].id)
+    verify_icfg(icfg)
+    # outer is gone from main but the inlined body still calls inner.
+    assert not calls_to(icfg, "outer")
+    inner_calls = calls_to(icfg, "inner")
+    assert any(c.proc == "main" for c in inner_calls)
+    check_equivalent(original, icfg, [[5], [-3]])
+
+
+def test_inline_locals_are_renamed_apart():
+    source = """
+        proc f(x) { var t = x * 10; return t; }
+        proc main() {
+            var t = 3;
+            var r = f(t);
+            print t; print r;
+            return 0;
+        }
+    """
+    icfg = build(source)
+    original = icfg.clone()
+    inline_call(icfg, calls_to(icfg, "f")[0].id)
+    verify_icfg(icfg)
+    # main's own t must not be clobbered by the inlined t.
+    check_equivalent(original, icfg, [[]])
+
+
+def test_refuses_direct_recursion():
+    source = """
+        proc loop(n) {
+            if (n <= 0) { return 0; }
+            return loop(n - 1);
+        }
+        proc main() { print loop(3); return 0; }
+    """
+    icfg = build(source)
+    recursive_call = [c for c in icfg.call_nodes()
+                      if c.proc == "loop"][0]
+    with pytest.raises(TransformError, match="recursive"):
+        inline_call(icfg, recursive_call.id)
+
+
+def test_inline_non_call_node_rejected():
+    icfg = build("proc main() { return 0; }")
+    with pytest.raises(TransformError):
+        inline_call(icfg, icfg.main_entry())
+
+
+def test_recursive_proc_detection():
+    source = """
+        proc ping(n) { if (n > 0) { return pong(n - 1); } return 0; }
+        proc pong(n) { if (n > 0) { return ping(n - 1); } return 0; }
+        proc leaf(v) { return v; }
+        proc main() { print ping(4); print leaf(1); return 0; }
+    """
+    recursive = _recursive_procs(build(source))
+    assert recursive == {"ping", "pong"}
+
+
+def test_exhaustive_inlining_flattens_nonrecursive_calls():
+    icfg = build(FGETC_LIKE)
+    original = icfg.clone()
+    inlined = inline_exhaustively(icfg, node_budget=10_000)
+    verify_icfg(icfg)
+    assert inlined >= 2
+    assert not icfg.call_nodes()  # fully flattened
+    check_equivalent(original, icfg, [[], [3, 0], [9, 9, 0]])
+
+
+def test_exhaustive_inlining_respects_budget():
+    icfg = build(FGETC_LIKE)
+    size = icfg.node_count()
+    inline_exhaustively(icfg, node_budget=size)  # no headroom at all
+    verify_icfg(icfg)
+
+
+def test_exhaustive_inlining_keeps_recursive_calls():
+    source = """
+        proc fact(n) {
+            if (n <= 1) { return 1; }
+            return n * fact(n - 1);
+        }
+        proc helper(v) { return v + 1; }
+        proc main() { print fact(helper(4)); return 0; }
+    """
+    icfg = build(source)
+    original = icfg.clone()
+    inline_exhaustively(icfg, node_budget=10_000)
+    verify_icfg(icfg)
+    assert calls_to(icfg, "fact")      # recursion survives
+    assert not any(c.proc == "main" and c.callee == "helper"
+                   for c in icfg.call_nodes())
+    check_equivalent(original, icfg, [[]])
+
+
+def test_inlining_then_intraprocedural_icbe_matches_paper_story():
+    """Paper §5: inlining makes interprocedural correlation visible to
+    intraprocedural elimination — at a code growth cost."""
+    from repro.analysis import AnalysisConfig
+    from repro.interp import Workload, run_icfg
+    from repro.transform import ICBEOptimizer, OptimizerOptions
+
+    icfg = build(FGETC_LIKE)
+    workload = [5, 0]
+
+    intra = ICBEOptimizer(OptimizerOptions(
+        config=AnalysisConfig(interprocedural=False)))
+
+    plain = intra.optimize(icfg)
+    flattened = icfg.clone()
+    inline_exhaustively(flattened, node_budget=10_000)
+    inlined = intra.optimize(flattened)
+
+    base = run_icfg(icfg, Workload(workload))
+    after_plain = run_icfg(plain.optimized, Workload(workload))
+    after_inlined = run_icfg(inlined.optimized, Workload(workload))
+    assert after_plain.observable == base.observable
+    assert after_inlined.observable == base.observable
+    # Inlining exposed the cross-procedure correlation to the baseline.
+    assert (after_inlined.profile.executed_conditionals
+            < after_plain.profile.executed_conditionals)
+
+
+def test_inlined_locals_rezeroed_on_each_execution():
+    """Regression: a callee's locals start at zero on *every* call; the
+    inlined body must re-zero them, or a second execution (here: loop
+    iterations) sees values left over from the first."""
+    source = """
+        proc sticky(v) {
+            var seen;                 // zero on every call
+            if (v > 0) { seen = v; }
+            return seen;
+        }
+        proc main() {
+            var i = 0;
+            while (i < 4) {
+                print sticky(input());
+                i = i + 1;
+            }
+        }
+    """
+    icfg = build(source)
+    original = icfg.clone()
+    target = calls_to(icfg, "sticky")[0]
+    inline_call(icfg, target.id)
+    verify_icfg(icfg)
+    # 5 then -1: without re-zeroing, the -1 call would report stale 5.
+    check_equivalent(original, icfg, [[5, -1, 3, -2]])

@@ -1,0 +1,47 @@
+"""Whole-pipeline behaviour on programs an order of magnitude larger
+than the suite (the repro band notes Python analyses can be slow; the
+demand-driven design keeps this fast)."""
+
+import time
+
+from repro.analysis import AnalysisConfig
+from repro.benchgen import GeneratorOptions, generate_program
+from repro.interp import Workload, run_icfg
+from repro.ir import lower_program, verify_icfg
+from repro.transform import ICBEOptimizer, OptimizerOptions
+
+LARGE = GeneratorOptions(procedures=20, statements_per_proc=14, max_depth=3)
+
+
+def test_large_program_end_to_end():
+    icfg = lower_program(generate_program(99, LARGE))
+    verify_icfg(icfg)
+    assert icfg.node_count() > 2000
+    assert icfg.conditional_node_count() > 250
+
+    started = time.perf_counter()
+    report = ICBEOptimizer(OptimizerOptions(
+        config=AnalysisConfig(budget=1000),
+        duplication_limit=50)).optimize(icfg)
+    elapsed = time.perf_counter() - started
+    verify_icfg(report.optimized)
+    # Generous wall-clock bound: demand-driven analysis + per-branch
+    # restructuring of ~350 conditionals must stay interactive.
+    assert elapsed < 60.0
+
+    workload = Workload.random(80, seed=1)
+    before = run_icfg(icfg, workload)
+    after = run_icfg(report.optimized, workload)
+    assert after.observable == before.observable
+    assert (after.profile.executed_conditionals
+            < before.profile.executed_conditionals)
+    assert report.optimized_count > 20
+
+
+def test_large_program_analysis_budget_is_respected():
+    from repro.analysis import analyze_branch
+    icfg = lower_program(generate_program(123, LARGE))
+    config = AnalysisConfig(budget=200)
+    for branch in icfg.branch_nodes()[:40]:
+        result = analyze_branch(icfg, branch.id, config)
+        assert result.stats.pairs_examined <= 200

@@ -1,0 +1,137 @@
+"""White-box tests of the splitting machinery."""
+
+import re
+
+from tests.helpers import build
+
+from repro.analysis import AnalysisConfig
+from repro.analysis.driver import analyze_branch
+from repro.analysis.rollback import answers_at
+from repro.ir import verify_icfg
+from repro.ir.icfg import EdgeKind
+from repro.ir.nodes import BranchNode, CallExitNode
+from repro.transform.split import Splitter
+
+CONFIG = AnalysisConfig(budget=100_000)
+
+
+def prepared(source, fragment):
+    icfg = build(source)
+    branch = [n for n in icfg.iter_nodes() if isinstance(n, BranchNode)
+              and fragment in re.sub(r"\w+::", "", n.label())][0]
+    working = icfg.clone()
+    analysis = analyze_branch(working, branch.id, CONFIG)
+    splitter = Splitter(working, analysis.engine, analysis.answers,
+                        branch.id, analysis.initial_query)
+    return icfg, working, analysis, splitter
+
+
+MERGE = """
+    proc main() {
+        var c = input();
+        var x = 0;
+        if (c > 0) { x = 1; }
+        print c;
+        if (x == 1) { print 1; }
+    }
+"""
+
+
+def test_clone_counts_match_answer_products():
+    icfg, working, analysis, splitter = prepared(MERGE, "x == 1")
+    outcome = splitter.split()
+    for node_id, clone_set in outcome.clone_sets.items():
+        expected = 1
+        for query in analysis.engine.raised[node_id]:
+            expected *= max(1, len(answers_at(analysis.answers, node_id,
+                                              query)))
+        assert len(clone_set.clones) == expected
+
+
+def test_originals_deleted_after_split():
+    icfg, working, analysis, splitter = prepared(MERGE, "x == 1")
+    visited = [nid for nid in analysis.engine.raised
+               if analysis.engine.raised[nid]]
+    splitter.split()
+    for node_id in visited:
+        assert node_id not in working.nodes
+
+
+def test_cloned_from_maps_every_copy():
+    icfg, working, analysis, splitter = prepared(MERGE, "x == 1")
+    outcome = splitter.split()
+    for clone_set in outcome.clone_sets.values():
+        for copy in clone_set.clones.values():
+            assert outcome.cloned_from[copy.id] == clone_set.original.id
+
+
+def test_branch_copies_carry_initial_query_answers():
+    icfg, working, analysis, splitter = prepared(MERGE, "x == 1")
+    outcome = splitter.split()
+    kinds = sorted(answer.kind for _, answer in outcome.branch_copies)
+    assert kinds == ["false", "true"]
+
+
+def test_every_clone_has_single_answer_per_query():
+    """The defining property of Fig. 8: after splitting, each copy
+    hosts exactly one answer (here: each copy's wired predecessors all
+    agree on its assignment)."""
+    icfg, working, analysis, splitter = prepared(MERGE, "x == 1")
+    outcome = splitter.split()
+    # Structural sanity of the split graph before elimination: the
+    # only nodes allowed two+ NORMAL in-edges are merge points whose
+    # clones all share one assignment, which holds by construction.
+    for clone_set in outcome.clone_sets.values():
+        for assignment, copy in clone_set.clones.items():
+            assert len(dict(assignment)) == len(
+                analysis.engine.raised[clone_set.original.id])
+
+
+CALL = """
+    proc classify(v) {
+        if (v <= 0) { return -1; }
+        return (unsigned) v;
+    }
+    proc main() {
+        var r = classify(input());
+        if (r == -1) { print 0; }
+    }
+"""
+
+
+def test_call_exits_rebuilt_per_call_and_exit_copy():
+    icfg, working, analysis, splitter = prepared(CALL, "r == -1")
+    outcome = splitter.split()
+    original_call_exits = [n.id for n in icfg.iter_nodes()
+                           if isinstance(n, CallExitNode)]
+    assert set(outcome.call_exit_clones) == set(original_call_exits)
+    copies = outcome.call_exit_clones[original_call_exits[0]]
+    # classify's exit splits (TRUE/FALSE summary answers) -> one
+    # call-site exit per exit copy for the single call copy set.
+    assert len(copies) >= 2
+    for copy in copies:
+        locals_ = [e for e in working.pred_edges(copy.id)
+                   if e.kind is EdgeKind.LOCAL]
+        returns = [e for e in working.pred_edges(copy.id)
+                   if e.kind is EdgeKind.RETURN]
+        assert len(locals_) == 1 and len(returns) == 1
+
+
+def test_exit_splitting_updates_return_maps():
+    icfg, working, analysis, splitter = prepared(CALL, "r == -1")
+    splitter.split()
+    call = working.call_nodes()[0]
+    assert len(call.return_map) >= 2
+    for exit_id, call_exit_id in call.return_map.items():
+        assert exit_id in working.procs["classify"].exits
+        assert isinstance(working.nodes[call_exit_id], CallExitNode)
+
+
+def test_split_graph_runs_after_elimination():
+    from repro.transform.eliminate import eliminate_known_copies
+    icfg, working, analysis, splitter = prepared(CALL, "r == -1")
+    outcome = splitter.split()
+    eliminated = eliminate_known_copies(working, outcome.branch_copies)
+    assert eliminated == 2
+    working.remove_unreachable()
+    verify_icfg(working)

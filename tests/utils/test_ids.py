@@ -1,0 +1,39 @@
+from repro.utils.ids import IdAllocator
+
+
+def test_allocates_consecutive_ids():
+    ids = IdAllocator()
+    assert [ids.allocate() for _ in range(4)] == [0, 1, 2, 3]
+
+
+def test_custom_start():
+    ids = IdAllocator(10)
+    assert ids.allocate() == 10
+
+
+def test_reserve_through_skips_used_ids():
+    ids = IdAllocator()
+    ids.reserve_through(5)
+    assert ids.allocate() == 6
+
+
+def test_reserve_through_below_watermark_is_noop():
+    ids = IdAllocator()
+    ids.allocate()
+    ids.allocate()
+    ids.reserve_through(0)
+    assert ids.allocate() == 2
+
+
+def test_next_id_peeks_without_allocating():
+    ids = IdAllocator()
+    assert ids.next_id == 0
+    assert ids.allocate() == 0
+
+
+def test_clone_continues_independently():
+    ids = IdAllocator()
+    ids.allocate()
+    other = ids.clone()
+    assert other.allocate() == 1
+    assert ids.allocate() == 1  # original not affected by the clone

@@ -1,0 +1,59 @@
+from repro.utils.ordered import OrderedSet
+
+
+def test_preserves_insertion_order():
+    items = OrderedSet(["b", "a", "c", "a"])
+    assert list(items) == ["b", "a", "c"]
+
+
+def test_add_reports_novelty():
+    items = OrderedSet()
+    assert items.add(1) is True
+    assert items.add(1) is False
+    assert len(items) == 1
+
+
+def test_discard_and_remove():
+    items = OrderedSet([1, 2, 3])
+    items.discard(2)
+    items.discard(99)  # absent: no error
+    assert list(items) == [1, 3]
+    items.remove(1)
+    assert list(items) == [3]
+
+
+def test_remove_missing_raises():
+    import pytest
+    with pytest.raises(KeyError):
+        OrderedSet().remove("ghost")
+
+
+def test_pop_first_is_fifo():
+    items = OrderedSet(["x", "y"])
+    assert items.pop_first() == "x"
+    assert items.pop_first() == "y"
+    assert not items
+
+
+def test_update_and_contains():
+    items = OrderedSet([1])
+    items.update([2, 3])
+    assert 3 in items and 0 not in items
+
+
+def test_copy_is_independent():
+    items = OrderedSet([1, 2])
+    copy = items.copy()
+    copy.add(3)
+    assert 3 not in items
+
+
+def test_equality_with_sets_ignores_order():
+    assert OrderedSet([3, 1]) == {1, 3}
+    assert OrderedSet([1]) == OrderedSet([1])
+    assert OrderedSet([1]) != OrderedSet([2])
+
+
+def test_bool_and_len():
+    assert not OrderedSet()
+    assert len(OrderedSet("ab")) == 2

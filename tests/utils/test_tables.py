@@ -1,0 +1,41 @@
+import pytest
+
+from repro.utils.tables import render_markdown_table, render_table
+
+
+def test_renders_title_and_alignment():
+    text = render_table(["name", "count"], [["alpha", 10], ["b", 2]],
+                        title="Demo")
+    lines = text.splitlines()
+    assert lines[0] == "Demo"
+    # Text column left-aligned, numeric column right-aligned.
+    assert "| alpha |    10 |" in text
+    assert "| b     |     2 |" in text
+
+
+def test_floats_render_with_two_decimals():
+    text = render_table(["x"], [[1.2345]])
+    assert "1.23" in text
+
+
+def test_none_renders_as_dash():
+    text = render_table(["x"], [[None]])
+    assert "| -" in text
+
+
+def test_mismatched_row_width_rejected():
+    with pytest.raises(ValueError):
+        render_table(["a", "b"], [[1]])
+
+
+def test_empty_rows_render_header_only():
+    text = render_table(["only"], [])
+    assert "only" in text
+
+
+def test_markdown_table_shape():
+    text = render_markdown_table(["a", "b"], [[1, 2]])
+    lines = text.splitlines()
+    assert lines[0] == "| a | b |"
+    assert lines[1] == "|---|---|"
+    assert lines[2] == "| 1 | 2 |"

@@ -1,0 +1,42 @@
+from repro.utils.worklist import Worklist
+
+
+def test_fifo_order():
+    work = Worklist([1, 2, 3])
+    assert [work.pop(), work.pop(), work.pop()] == [1, 2, 3]
+
+
+def test_duplicates_suppressed_while_queued():
+    work = Worklist()
+    assert work.push("a") is True
+    assert work.push("a") is False
+    assert len(work) == 1
+
+
+def test_requeue_after_pop_allowed():
+    work = Worklist(["a"])
+    work.pop()
+    assert work.push("a") is True
+
+
+def test_total_pushed_counts_successful_pushes_only():
+    work = Worklist()
+    work.push(1)
+    work.push(1)
+    work.pop()
+    work.push(1)
+    assert work.total_pushed == 2
+
+
+def test_contains_reflects_queued_state():
+    work = Worklist([5])
+    assert 5 in work
+    work.pop()
+    assert 5 not in work
+
+
+def test_bool_conversion():
+    work = Worklist()
+    assert not work
+    work.push(0)
+    assert work
