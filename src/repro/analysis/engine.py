@@ -42,6 +42,7 @@ from repro.errors import AnalysisError
 from repro.ir.expr import VarId
 from repro.ir.icfg import Edge, EdgeKind, ICFG
 from repro.ir.nodes import BranchNode, CallExitNode, CallNode, EntryNode
+from repro.robustness.runtime import checkpoint
 from repro.utils.ordered import OrderedSet
 from repro.utils.worklist import Worklist
 
@@ -180,6 +181,7 @@ class CorrelationEngine:
                 break
             node_id, query = self.worklist.pop()
             self.stats.pairs_examined += 1
+            checkpoint("analysis:pair", self.icfg)
             self._process(node_id, query)
         return initial
 

@@ -82,12 +82,23 @@ def cmd_optimize(args: argparse.Namespace) -> int:
     """``icbe optimize``: run ICBE and report the effect."""
     icfg = _load(args.file)
     optimizer = ICBEOptimizer(OptimizerOptions(
-        config=_config(args), duplication_limit=args.limit))
+        config=_config(args), duplication_limit=args.limit,
+        strict=args.strict, diff_check=args.diff_check,
+        deadline_s=args.deadline, guard_growth_factor=args.guard_growth,
+        diagnostics_dir=args.diagnostics))
     report = optimizer.optimize(icfg)
     print(f"conditionals optimized: {report.optimized_count} / "
           f"{report.conditionals_before}")
     print(f"nodes: {report.nodes_before} -> {report.nodes_after} "
           f"({report.growth_percent:+.1f}%)")
+    if report.failed_count or report.rolled_back_count:
+        print(f"transactions rolled back: {report.failed_count} failed, "
+              f"{report.rolled_back_count} differential")
+    if args.diff_check:
+        clean = not any(b.phase in ("diff-check", "final-diff")
+                        for b in report.diagnostics)
+        print(f"differential validation: "
+              f"{'clean' if clean else 'mismatches rolled back'}")
     if args.input is not None:
         workload = Workload(args.input)
         before = run_icfg(icfg, workload)
@@ -184,6 +195,21 @@ def build_parser() -> argparse.ArgumentParser:
                             help="workload to measure dynamic reduction")
     optimize_p.add_argument("--emit", action="store_true",
                             help="dump the optimized ICFG")
+    optimize_p.add_argument("--diff-check", action="store_true",
+                            help="differentially validate every accepted "
+                                 "transform against the original program")
+    optimize_p.add_argument("--strict", action="store_true",
+                            help="re-raise the first transactional failure "
+                                 "instead of rolling back")
+    optimize_p.add_argument("--deadline", type=float, default=None,
+                            help="per-conditional wall-clock deadline "
+                                 "in seconds")
+    optimize_p.add_argument("--guard-growth", type=float, default=None,
+                            help="abort one conditional when its working "
+                                 "graph exceeds this multiple of its size")
+    optimize_p.add_argument("--diagnostics", default=None, metavar="DIR",
+                            help="write a diagnostics bundle per rolled-back "
+                                 "transform into DIR")
     optimize_p.set_defaults(func=cmd_optimize)
 
     predict_p = sub.add_parser(

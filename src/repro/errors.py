@@ -56,3 +56,28 @@ class AnalysisError(ReproError):
 
 class TransformError(ReproError):
     """The restructuring transformation could not be applied safely."""
+
+
+class BudgetExceeded(ReproError):
+    """A resource guard tripped (per-conditional deadline or node growth).
+
+    Raised cooperatively from instrumented checkpoints inside analysis
+    and restructuring, so a runaway conditional is abandoned and rolled
+    back instead of hanging or exhausting memory.
+    """
+
+
+class FaultInjected(ReproError):
+    """An armed :class:`~repro.robustness.faults.FaultPlan` fired.
+
+    Only ever raised on purpose, by tests and drills that exercise the
+    optimizer's recovery paths.
+    """
+
+
+class DifferentialMismatch(ReproError):
+    """Original and optimized programs observably diverged on a workload.
+
+    Raised by strict-mode differential validation; non-strict mode rolls
+    the offending transform back and records diagnostics instead.
+    """

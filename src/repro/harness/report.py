@@ -142,6 +142,71 @@ denominator.
 }
 
 
+def _robustness_section() -> str:
+    """Transactional-optimizer drill: outcomes with and without faults.
+
+    Runs the suite through the optimizer with differential validation
+    on, then repeats one benchmark under an injected-fault schedule, and
+    tabulates the per-branch outcome counts (including the FAILED /
+    ROLLED_BACK transactions) that `harness` summaries now track.
+    """
+    from repro.benchgen.suite import benchmark_names
+    from repro.harness.metrics import prepare_benchmark
+    from repro.ir import verify_icfg
+    from repro.robustness import FaultPlan, differential_check
+    from repro.transform import ICBEOptimizer, OptimizerOptions
+
+    header = ("| benchmark | optimized | failed | rolled back | other | "
+              "diff check |\n|---|---|---|---|---|---|")
+    rows = []
+    for name in benchmark_names():
+        context = prepare_benchmark(name)
+        report = ICBEOptimizer(OptimizerOptions(
+            duplication_limit=100, diff_check=True)).optimize(context.icfg)
+        verify_icfg(report.optimized)
+        diff_ok = differential_check(context.icfg, report.optimized).ok
+        other = (len(report.records) - report.optimized_count
+                 - report.failed_count - report.rolled_back_count)
+        rows.append(f"| {name} | {report.optimized_count} | "
+                    f"{report.failed_count} | {report.rolled_back_count} | "
+                    f"{other} | {'ok' if diff_ok else 'MISMATCH'} |")
+
+    drill_name = benchmark_names()[0]
+    context = prepare_benchmark(drill_name)
+    plan = FaultPlan([
+        FaultPlan.raising("transform:split", hit=2).specs[0],
+        FaultPlan.corrupting("transform:verify", hit=3,
+                             action="skew-print").specs[0],
+    ])
+    drilled = ICBEOptimizer(OptimizerOptions(
+        duplication_limit=100, diff_check=True,
+        fault_plan=plan)).optimize(context.icfg)
+    verify_icfg(drilled.optimized)
+    drill_ok = differential_check(context.icfg, drilled.optimized).ok
+    drill_other = (len(drilled.records) - drilled.optimized_count
+                   - drilled.failed_count - drilled.rolled_back_count)
+    rows.append(f"| {drill_name} (2 injected faults) | "
+                f"{drilled.optimized_count} | {drilled.failed_count} | "
+                f"{drilled.rolled_back_count} | {drill_other} | "
+                f"{'ok' if drill_ok else 'MISMATCH'} |")
+
+    return f"""\
+## Robustness — transactional optimizer drill
+
+Every conditional's restructuring runs as a transaction (snapshot →
+attempt → differential validation → commit or rollback; see
+docs/ROBUSTNESS.md).  The table shows per-branch outcome counts across
+the suite with differential checking enabled, plus one deliberately
+faulted run: an exception injected mid-split and a semantic corruption
+injected past the structural verifier.  Both faults cost exactly the
+affected transactions; the final graph always verifies and always
+matches the original program's observable traces.
+
+{header}
+{chr(10).join(rows)}
+"""
+
+
 def _extensions_section() -> str:
     """Measure the qualitative §3.3/§5 claims for the report."""
     from repro.analysis import AnalysisConfig, analyze_branch
@@ -255,6 +320,7 @@ def generate(path: str = "EXPERIMENTS.md") -> str:
         body=headline.render_headline(summary)))
 
     parts.append(_extensions_section())
+    parts.append(_robustness_section())
 
     elapsed = time.time() - started
     parts.append(f"---\n\nGenerated by `python -m repro.harness.report` "

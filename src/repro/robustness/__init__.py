@@ -1,0 +1,43 @@
+"""Robustness subsystem: transactional transforms, guards, fault drills.
+
+The paper calls restructuring "the most delicate part of the system";
+this package is the production answer to that delicacy.  It makes the
+whole-program optimizer crash-proof and self-validating:
+
+- :mod:`~repro.robustness.snapshot` — cheap structural ICFG snapshots,
+  the basis of per-conditional transactions (roll back one conditional,
+  keep the rest of the run);
+- :mod:`~repro.robustness.guards` — per-conditional wall-clock and
+  node-growth budgets enforced cooperatively via checkpoints;
+- :mod:`~repro.robustness.faults` — deterministic fault injection at
+  named checkpoints, so the recovery paths themselves are testable;
+- :mod:`~repro.robustness.diffcheck` — differential validation of
+  observable traces between the original and optimized program;
+- :mod:`~repro.robustness.report` — structured diagnostics bundles for
+  every failure;
+- :mod:`~repro.robustness.runtime` — the checkpoint plumbing tying the
+  instrumented analysis/transform loops to guards and fault plans.
+
+See docs/ROBUSTNESS.md for the transaction model and the knobs.
+"""
+
+from repro.robustness.diffcheck import (DiffMismatch, DiffReport,
+                                        differential_check,
+                                        require_equivalent,
+                                        seeded_workloads)
+from repro.robustness.faults import (CORRUPTION_ACTIONS, FaultPlan,
+                                     FaultSpec, FiredFault, corrupt_icfg)
+from repro.robustness.guards import ResourceGuard
+from repro.robustness.report import (DiagnosticsBundle, capture_bundle,
+                                     write_bundle)
+from repro.robustness.runtime import (active_context, checkpoint,
+                                      robustness_context)
+from repro.robustness.snapshot import ICFGSnapshot
+
+__all__ = [
+    "CORRUPTION_ACTIONS", "DiagnosticsBundle", "DiffMismatch", "DiffReport",
+    "FaultPlan", "FaultSpec", "FiredFault", "ICFGSnapshot", "ResourceGuard",
+    "active_context", "capture_bundle", "checkpoint", "corrupt_icfg",
+    "differential_check", "require_equivalent", "robustness_context",
+    "seeded_workloads", "write_bundle",
+]

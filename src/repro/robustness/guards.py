@@ -1,0 +1,64 @@
+"""Per-conditional resource guards: deadline and node-growth budgets.
+
+A :class:`ResourceGuard` bounds how much one conditional's analysis and
+restructuring may cost.  Enforcement is cooperative: the instrumented
+hot loops call :func:`~repro.robustness.runtime.checkpoint`, which
+routes to :meth:`ResourceGuard.check`, which raises
+:class:`~repro.errors.BudgetExceeded` — an ordinary
+:class:`~repro.errors.ReproError` the transactional optimizer catches
+and converts into a per-conditional rollback.  Nothing hangs, nothing
+OOMs, and the remaining conditionals still get their turn.
+"""
+
+from __future__ import annotations
+
+import time
+from typing import Callable, Optional
+
+from repro.errors import BudgetExceeded
+from repro.ir.icfg import ICFG
+
+
+class ResourceGuard:
+    """Context manager enforcing a wall-clock deadline and a node cap.
+
+    ``deadline_s`` bounds elapsed time from :meth:`start` (entering the
+    ``with`` block); ``max_nodes`` bounds the node count of whatever
+    graph the checkpoints hand in (the working clone, mid-split).
+    Either may be None for "unlimited".  ``clock`` is injectable so
+    tests can trip the deadline without sleeping.
+    """
+
+    def __init__(self, deadline_s: Optional[float] = None,
+                 max_nodes: Optional[int] = None,
+                 clock: Callable[[], float] = time.monotonic) -> None:
+        self.deadline_s = deadline_s
+        self.max_nodes = max_nodes
+        self.clock = clock
+        self.checks = 0
+        self._deadline: Optional[float] = None
+
+    def start(self) -> "ResourceGuard":
+        """Arm the deadline relative to now; returns self."""
+        if self.deadline_s is not None:
+            self._deadline = self.clock() + self.deadline_s
+        return self
+
+    def __enter__(self) -> "ResourceGuard":
+        return self.start()
+
+    def __exit__(self, exc_type, exc, tb) -> bool:
+        return False
+
+    def check(self, icfg: Optional[ICFG] = None) -> None:
+        """Raise :class:`BudgetExceeded` if any armed budget is blown."""
+        self.checks += 1
+        if self._deadline is not None and self.clock() > self._deadline:
+            raise BudgetExceeded(
+                f"per-conditional deadline of {self.deadline_s:g}s exceeded "
+                f"after {self.checks} checkpoints")
+        if (self.max_nodes is not None and icfg is not None
+                and icfg.node_count() > self.max_nodes):
+            raise BudgetExceeded(
+                f"node budget exceeded: {icfg.node_count()} nodes > "
+                f"cap {self.max_nodes}")

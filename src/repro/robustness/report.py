@@ -1,0 +1,96 @@
+"""Structured diagnostics for failed or rolled-back transforms.
+
+When a transaction aborts — an exception inside analysis/restructuring,
+a blown budget, or a differential mismatch — the optimizer captures a
+:class:`DiagnosticsBundle`: the failing conditional, the phase, the
+exception with its traceback, a textual dump of the offending ICFG
+(via :mod:`repro.ir.printer`), and the differential report if one
+exists.  Bundles ride on the
+:class:`~repro.transform.pipeline.OptimizationReport` and can be spilled
+to disk with :func:`write_bundle`, so a production failure is a
+post-mortem artifact instead of a lost stack trace.
+"""
+
+from __future__ import annotations
+
+import os
+import traceback
+from dataclasses import dataclass
+from typing import Optional
+
+from repro.ir.icfg import ICFG
+from repro.ir.printer import dump_icfg
+from repro.robustness.diffcheck import DiffReport
+
+
+@dataclass
+class DiagnosticsBundle:
+    """Everything known about one transactional failure."""
+
+    branch_id: int           # -1 for pipeline-level phases
+    phase: str               # restructure | diff-check | simplify | final-*
+    failure: str
+    traceback_text: str = ""
+    icfg_dump: str = ""
+    diff: Optional[DiffReport] = None
+
+    def render(self) -> str:
+        """The bundle as a self-contained markdown document."""
+        where = (f"branch {self.branch_id}" if self.branch_id >= 0
+                 else "pipeline")
+        parts = [f"# ICBE diagnostics — {where}, phase `{self.phase}`",
+                 "", f"**Failure:** {self.failure or '(none recorded)'}"]
+        if self.diff is not None:
+            parts += ["", f"**Differential:** {self.diff.describe()}"]
+        if self.traceback_text:
+            parts += ["", "## Traceback", "", "```",
+                      self.traceback_text.rstrip(), "```"]
+        if self.icfg_dump:
+            parts += ["", "## Offending ICFG", "", "```",
+                      self.icfg_dump.rstrip(), "```"]
+        return "\n".join(parts) + "\n"
+
+
+def capture_bundle(branch_id: int, phase: str,
+                   exc: Optional[BaseException] = None,
+                   icfg: Optional[ICFG] = None,
+                   diff: Optional[DiffReport] = None) -> DiagnosticsBundle:
+    """Build a bundle from the live failure context, best-effort.
+
+    The graph may be arbitrarily corrupt at capture time, so the dump is
+    guarded: a graph the printer itself chokes on is reported as such
+    rather than replacing one failure with another.
+    """
+    failure = ""
+    traceback_text = ""
+    if exc is not None:
+        failure = f"{type(exc).__name__}: {exc}"
+        traceback_text = "".join(traceback.format_exception(
+            type(exc), exc, exc.__traceback__))
+    elif diff is not None:
+        failure = diff.describe()
+    icfg_dump = ""
+    if icfg is not None:
+        try:
+            icfg_dump = dump_icfg(icfg)
+        except Exception as dump_error:  # corrupt graph: note, don't mask
+            icfg_dump = f"<icfg not dumpable: {dump_error!r}>"
+    return DiagnosticsBundle(branch_id=branch_id, phase=phase,
+                             failure=failure,
+                             traceback_text=traceback_text,
+                             icfg_dump=icfg_dump, diff=diff)
+
+
+def write_bundle(bundle: DiagnosticsBundle, directory: str) -> str:
+    """Write ``bundle`` under ``directory``; returns the file path."""
+    os.makedirs(directory, exist_ok=True)
+    tag = f"branch{bundle.branch_id}" if bundle.branch_id >= 0 else "pipeline"
+    name = f"icbe-diag-{tag}-{bundle.phase.replace(':', '_')}.md"
+    path = os.path.join(directory, name)
+    counter = 1
+    while os.path.exists(path):
+        path = os.path.join(directory, f"{name[:-3]}-{counter}.md")
+        counter += 1
+    with open(path, "w", encoding="utf-8") as handle:
+        handle.write(bundle.render())
+    return path

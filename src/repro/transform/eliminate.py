@@ -14,11 +14,13 @@ from typing import List, Tuple
 from repro.analysis.answers import Answer
 from repro.ir.icfg import EdgeKind, ICFG
 from repro.ir.nodes import BranchNode, Node, NopNode
+from repro.robustness.runtime import checkpoint
 
 
 def eliminate_known_copies(icfg: ICFG,
                            branch_copies: List[Tuple[Node, Answer]]) -> int:
     """Replace decided branch copies with empty nodes; return how many."""
+    checkpoint("transform:eliminate", icfg)
     eliminated = 0
     for copy, answer in branch_copies:
         if not answer.is_known:

@@ -12,6 +12,16 @@ Each conditional is optimized at most once.  Copies of an
 already-processed conditional created by later transformations inherit
 its processed status; copies of *unprocessed* conditionals are new
 conditionals in their own right and get their own turn.
+
+Every conditional's trip is a *transaction*: the graph is snapshotted
+before the attempt, the attempt runs under the active resource guard
+and fault plan, and any failure — an escaped exception, a blown budget,
+a verifier rejection, or a differential-trace mismatch on the accepted
+result — rolls back that one conditional and the run continues.  The
+public contract of :meth:`ICBEOptimizer.optimize` is therefore total in
+non-strict mode: it always returns, the returned graph always passes
+:func:`~repro.ir.verify.verify_icfg`, and it is never half-mutated.
+Strict mode re-raises the first failure instead (for debugging).
 """
 
 from __future__ import annotations
@@ -21,10 +31,19 @@ from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Set
 
 from repro.analysis.config import AnalysisConfig
+from repro.errors import DifferentialMismatch, ReproError
 from repro.interp.profile import Profile, RemappedProfile
+from repro.interp.workload import Workload
 from repro.ir.icfg import ICFG
 from repro.ir.simplify import simplify_nops
 from repro.ir.verify import verify_icfg
+from repro.robustness.diffcheck import DiffReport, differential_check
+from repro.robustness.faults import FaultPlan
+from repro.robustness.guards import ResourceGuard
+from repro.robustness.report import (DiagnosticsBundle, capture_bundle,
+                                     write_bundle)
+from repro.robustness.runtime import checkpoint, robustness_context
+from repro.robustness.snapshot import ICFGSnapshot
 from repro.transform.restructure import (BranchOutcome, RestructureResult,
                                          restructure_branch)
 
@@ -48,6 +67,30 @@ class OptimizerOptions:
     #: fields must be set for the gate to apply.
     profile: Optional["Profile"] = None
     min_benefit_per_node: Optional[float] = None
+    #: Strict mode re-raises the first per-conditional failure instead
+    #: of rolling back and continuing (debugging aid).
+    strict: bool = False
+    #: Run differential trace validation after every accepted transform
+    #: and once more at pipeline end; mismatches roll the transform back.
+    diff_check: bool = False
+    #: Workload battery for differential validation (None = a seeded
+    #: default battery of ``diff_runs`` random streams plus the empty
+    #: stream).
+    diff_workloads: Optional[List[Workload]] = None
+    diff_seed: int = 0
+    diff_runs: int = 3
+    #: Per-conditional wall-clock deadline in seconds (None = ∞),
+    #: enforced cooperatively at analysis/transform checkpoints.
+    deadline_s: Optional[float] = None
+    #: Per-conditional node-growth guard: abort one conditional's
+    #: transaction when the working graph exceeds this multiple of its
+    #: pre-transaction node count (None = unguarded).
+    guard_growth_factor: Optional[float] = None
+    #: Deterministic fault plan for robustness drills (None = no faults).
+    fault_plan: Optional[FaultPlan] = None
+    #: Spill a diagnostics bundle per failure into this directory
+    #: (None = keep bundles in memory on the report only).
+    diagnostics_dir: Optional[str] = None
 
 
 @dataclass
@@ -70,6 +113,7 @@ class OptimizationReport:
 
     optimized: ICFG
     records: List[BranchRecord] = field(default_factory=list)
+    diagnostics: List[DiagnosticsBundle] = field(default_factory=list)
     nodes_before: int = 0
     nodes_after: int = 0
     executable_before: int = 0
@@ -80,20 +124,44 @@ class OptimizationReport:
 
     @property
     def optimized_count(self) -> int:
+        """How many conditionals were successfully optimized."""
         return sum(1 for r in self.records
                    if r.outcome is BranchOutcome.OPTIMIZED)
 
     @property
+    def failed_count(self) -> int:
+        """Conditionals whose transaction aborted on an exception."""
+        return sum(1 for r in self.records
+                   if r.outcome is BranchOutcome.FAILED)
+
+    @property
+    def rolled_back_count(self) -> int:
+        """Accepted transforms discarded by differential validation."""
+        return sum(1 for r in self.records
+                   if r.outcome is BranchOutcome.ROLLED_BACK)
+
+    def outcome_counts(self) -> Dict[str, int]:
+        """Per-branch outcome tally, keyed by outcome value string."""
+        counts: Dict[str, int] = {}
+        for record in self.records:
+            key = record.outcome.value
+            counts[key] = counts.get(key, 0) + 1
+        return counts
+
+    @property
     def node_growth(self) -> int:
+        """Net node-count change of the whole run."""
         return self.nodes_after - self.nodes_before
 
     @property
     def growth_percent(self) -> float:
+        """Net node growth as a percentage of the input size."""
         if self.nodes_before == 0:
             return 0.0
         return 100.0 * self.node_growth / self.nodes_before
 
     def total_pairs_examined(self) -> int:
+        """Node-query pairs examined across every conditional."""
         return sum(r.pairs_examined for r in self.records)
 
 
@@ -105,8 +173,15 @@ class ICBEOptimizer:
         self.options = options if options is not None else OptimizerOptions()
 
     def optimize(self, icfg: ICFG) -> OptimizationReport:
-        """Optimize every analyzable conditional; the input is untouched."""
+        """Optimize every analyzable conditional; the input is untouched.
+
+        Non-strict mode (the default) never raises and never returns a
+        half-mutated graph: every per-conditional failure is rolled
+        back, recorded as a :class:`BranchRecord`, and attached to the
+        report as a diagnostics bundle.
+        """
         started = time.perf_counter()
+        opts = self.options
         current = icfg.clone()
         report = OptimizationReport(
             optimized=current,
@@ -119,12 +194,11 @@ class ICBEOptimizer:
         # the profile-guided benefit gate keeps working on copies.
         origin: Dict[int, int] = {}
         gate_profile = None
-        if self.options.profile is not None:
-            gate_profile = RemappedProfile(self.options.profile, origin)
+        if opts.profile is not None:
+            gate_profile = RemappedProfile(opts.profile, origin)
         growth_cap = None
-        if self.options.max_growth_factor is not None:
-            growth_cap = int(icfg.node_count()
-                             * self.options.max_growth_factor)
+        if opts.max_growth_factor is not None:
+            growth_cap = int(icfg.node_count() * opts.max_growth_factor)
 
         while True:
             pending = [b.id for b in current.branch_nodes()
@@ -135,23 +209,66 @@ class ICBEOptimizer:
                 break
             branch_id = pending[0]
             done.add(branch_id)
-            result = restructure_branch(
-                current, branch_id, self.options.config,
-                self.options.duplication_limit,
-                profile=gate_profile,
-                min_benefit_per_node=self.options.min_benefit_per_node)
-            report.records.append(self._record(result))
+            snapshot = ICFGSnapshot.take(current)
+            guard = ResourceGuard(deadline_s=opts.deadline_s,
+                                  max_nodes=self._node_cap(snapshot))
+            diff: Optional[DiffReport] = None
+            try:
+                with guard, robustness_context(guard=guard,
+                                               plan=opts.fault_plan):
+                    checkpoint("pipeline:branch-start", current)
+                    result = restructure_branch(
+                        current, branch_id, opts.config,
+                        opts.duplication_limit,
+                        profile=gate_profile,
+                        min_benefit_per_node=opts.min_benefit_per_node)
+                    if result.applied and opts.diff_check:
+                        assert result.new_icfg is not None
+                        diff = self._diff(icfg, result.new_icfg)
+            except (KeyboardInterrupt, SystemExit):
+                raise
+            except Exception as failure:
+                if opts.strict:
+                    raise
+                current = snapshot.restore()
+                report.records.append(BranchRecord(
+                    branch_id=branch_id, outcome=BranchOutcome.FAILED,
+                    failure=f"{type(failure).__name__}: {failure}"))
+                self._diagnose(report, branch_id, "restructure",
+                               exc=failure, icfg=current)
+                continue
+
+            record = self._record(result)
+            adopted = False
             if result.applied:
                 assert result.new_icfg is not None
-                current = result.new_icfg
-                for new_id, old_id in result.cloned_from.items():
-                    origin[new_id] = origin.get(old_id, old_id)
-                    if old_id in done:
-                        done.add(new_id)
+                if diff is not None and not diff.ok:
+                    if opts.strict:
+                        raise DifferentialMismatch(diff.describe())
+                    record.outcome = BranchOutcome.ROLLED_BACK
+                    record.failure = diff.describe()
+                    record.node_growth = 0
+                    self._diagnose(report, branch_id, "diff-check",
+                                   icfg=result.new_icfg, diff=diff)
+                else:
+                    current = result.new_icfg
+                    adopted = True
+                    for new_id, old_id in result.cloned_from.items():
+                        origin[new_id] = origin.get(old_id, old_id)
+                        if old_id in done:
+                            done.add(new_id)
+            if not adopted:
+                # Nothing was accepted, so the pre-transaction state is
+                # the truth.  Restoring it even on benign outcomes also
+                # heals any corruption of the *live* graph (an injected
+                # fault before restructuring cloned it) that the
+                # conditional's own verdict would otherwise smuggle
+                # forward into every later transaction.
+                current = snapshot.restore()
+            report.records.append(record)
 
-        if self.options.simplify:
-            simplify_nops(current)
-            verify_icfg(current)
+        current = self._simplify_phase(current, report)
+        current = self._final_validation(icfg, current, report)
 
         report.optimized = current
         report.nodes_after = current.node_count()
@@ -159,6 +276,82 @@ class ICBEOptimizer:
         report.conditionals_after = current.conditional_node_count()
         report.elapsed_seconds = time.perf_counter() - started
         return report
+
+    # -- transactional phases ------------------------------------------------
+
+    def _simplify_phase(self, current: ICFG,
+                        report: OptimizationReport) -> ICFG:
+        """End-of-run nop compaction, as its own transaction."""
+        opts = self.options
+        if not opts.simplify:
+            return current
+        snapshot = ICFGSnapshot.take(current)
+        try:
+            with robustness_context(plan=opts.fault_plan):
+                checkpoint("pipeline:simplify", current)
+                simplify_nops(current)
+                verify_icfg(current)
+        except (KeyboardInterrupt, SystemExit):
+            raise
+        except Exception as failure:
+            if opts.strict:
+                raise
+            current = snapshot.restore()
+            self._diagnose(report, -1, "simplify", exc=failure, icfg=current)
+        return current
+
+    def _final_validation(self, original: ICFG, current: ICFG,
+                          report: OptimizationReport) -> ICFG:
+        """Last line of defence: the returned graph must verify and
+        (when differential checking is on) behave like the input.  A
+        violation here means a pipeline-level fault slipped through
+        every per-conditional net, so the whole run is rolled back to a
+        pristine clone of the input — correct, if unoptimized."""
+        opts = self.options
+        try:
+            verify_icfg(current)
+        except ReproError as failure:
+            if opts.strict:
+                raise
+            self._diagnose(report, -1, "final-verify",
+                           exc=failure, icfg=current)
+            return original.clone()
+        if opts.diff_check:
+            diff = self._diff(original, current)
+            if not diff.ok:
+                if opts.strict:
+                    raise DifferentialMismatch(diff.describe())
+                self._diagnose(report, -1, "final-diff",
+                               icfg=current, diff=diff)
+                return original.clone()
+        return current
+
+    # -- helpers -------------------------------------------------------------
+
+    def _node_cap(self, snapshot: ICFGSnapshot) -> Optional[int]:
+        """The per-transaction node budget, if growth-guarded."""
+        factor = self.options.guard_growth_factor
+        if factor is None:
+            return None
+        return int(snapshot.node_count * factor)
+
+    def _diff(self, original: ICFG, optimized: ICFG) -> DiffReport:
+        """Differential trace comparison with the configured workloads."""
+        opts = self.options
+        return differential_check(original, optimized,
+                                  workloads=opts.diff_workloads,
+                                  seed=opts.diff_seed, runs=opts.diff_runs)
+
+    def _diagnose(self, report: OptimizationReport, branch_id: int,
+                  phase: str, exc: Optional[BaseException] = None,
+                  icfg: Optional[ICFG] = None,
+                  diff: Optional[DiffReport] = None) -> None:
+        """Capture (and optionally spill) a diagnostics bundle."""
+        bundle = capture_bundle(branch_id, phase, exc=exc, icfg=icfg,
+                                diff=diff)
+        report.diagnostics.append(bundle)
+        if self.options.diagnostics_dir is not None:
+            write_bundle(bundle, self.options.diagnostics_dir)
 
     @staticmethod
     def _record(result: RestructureResult) -> BranchRecord:

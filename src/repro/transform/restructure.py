@@ -23,6 +23,7 @@ from repro.interp.profile import Profile
 from repro.errors import TransformError, VerificationError
 from repro.ir.icfg import ICFG
 from repro.ir.verify import verify_icfg
+from repro.robustness.runtime import checkpoint
 from repro.transform.eliminate import eliminate_known_copies
 from repro.transform.split import Splitter
 
@@ -36,6 +37,12 @@ class BranchOutcome(enum.Enum):
     OVER_LIMIT = "over-duplication-limit"
     LOW_BENEFIT = "low-benefit"
     TRANSFORM_FAILED = "transform-failed"
+    #: An exception escaped analysis/restructuring (or a resource guard
+    #: tripped); the optimizer rolled the conditional's transaction back.
+    FAILED = "failed"
+    #: The transform verified structurally but differential validation
+    #: caught an observable divergence; the transform was discarded.
+    ROLLED_BACK = "rolled-back"
 
 
 @dataclass
@@ -114,6 +121,7 @@ def restructure_branch(icfg: ICFG, branch_id: int,
         base.eliminated_copies = eliminate_known_copies(
             working, outcome.branch_copies)
         working.remove_unreachable()
+        checkpoint("transform:verify", working)
         verify_icfg(working)
     except (TransformError, VerificationError) as failure:
         base.outcome = BranchOutcome.TRANSFORM_FAILED

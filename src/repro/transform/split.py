@@ -37,6 +37,7 @@ from repro.analysis.rollback import AnswerMap
 from repro.errors import TransformError
 from repro.ir.icfg import Edge, EdgeKind, ICFG
 from repro.ir.nodes import CallExitNode, CallNode, EntryNode, ExitNode, Node
+from repro.robustness.runtime import checkpoint
 
 #: A choice of one answer per hosted query.
 Assignment = Tuple[Tuple[Query, Answer], ...]
@@ -119,6 +120,7 @@ class Splitter:
                          if not isinstance(self.icfg.nodes[nid], CallExitNode)]
 
         for node_id in plain_visited:
+            checkpoint("transform:split", self.icfg)
             self._make_clones(node_id)
 
         self._rebuild_call_exits()

@@ -116,3 +116,100 @@ def test_detects_asymmetric_edge_indices():
     icfg._preds[edge.dst].remove(edge)
     with pytest.raises(VerificationError, match="disagree"):
         verify_icfg(icfg)
+
+
+# ---------------------------------------------------------------------------
+# One deliberately corrupted graph per checked invariant class (the six
+# classes in the module docstring of repro/ir/verify.py), asserting the
+# specific VerificationError message so a future refactor cannot
+# silently weaken a check.
+# ---------------------------------------------------------------------------
+
+
+def test_invariant1_duplicate_out_edges_named():
+    icfg = build(SOURCE)
+    node_id = icfg.main_entry()
+    # Bypass add_edge's own duplicate rejection (white-box).
+    icfg._succs[node_id].append(icfg.succ_edges(node_id)[0])
+    with pytest.raises(VerificationError, match="duplicate out-edges"):
+        verify_icfg(icfg)
+
+
+def test_invariant1_dangling_edge_target_named():
+    icfg = build(SOURCE)
+    victim = [n.id for n in icfg.iter_nodes() if isinstance(n, NopNode)][0]
+    del icfg.nodes[victim]  # leave every incident edge dangling
+    with pytest.raises(VerificationError, match="targets unknown node"):
+        verify_icfg(icfg)
+
+
+def test_invariant2_unknown_procedure_named():
+    icfg = build(SOURCE)
+    del icfg.procs["f"]  # every node of f now floats proc-less
+    with pytest.raises(VerificationError,
+                       match="unknown procedure 'f'"):
+        verify_icfg(icfg)
+
+
+def test_invariant3_branch_out_edge_arity_named():
+    icfg = build(SOURCE)
+    branch = branch_of(icfg)
+    for edge in list(icfg.succ_edges(branch.id)):
+        if edge.kind is EdgeKind.TRUE:
+            icfg.remove_edge(edge)
+    with pytest.raises(VerificationError,
+                       match=rf"branch {branch.id} has out-edges"):
+        verify_icfg(icfg)
+
+
+def test_invariant3_flowthrough_out_edge_arity_named():
+    icfg = build(SOURCE)
+    nop = [n for n in icfg.iter_nodes() if isinstance(n, NopNode)][0]
+    for edge in list(icfg.succ_edges(nop.id)):
+        icfg.remove_edge(edge)
+    with pytest.raises(VerificationError,
+                       match="expected exactly one NORMAL"):
+        verify_icfg(icfg)
+
+
+def test_invariant4_call_without_call_site_exit_named():
+    icfg = build(SOURCE)
+    call = [n for n in icfg.iter_nodes() if isinstance(n, CallNode)][0]
+    for edge in list(icfg.succ_edges(call.id)):
+        if edge.kind is EdgeKind.LOCAL:
+            icfg.remove_edge(edge)
+    with pytest.raises(VerificationError, match="no call-site exit"):
+        verify_icfg(icfg)
+
+
+def test_invariant5_return_map_key_not_an_exit_named():
+    icfg = build(SOURCE)
+    call = [n for n in icfg.iter_nodes() if isinstance(n, CallNode)][0]
+    exit_id = icfg.procs["f"].exits[0]
+    call_exit = call.return_map.pop(exit_id)
+    call.return_map[icfg.main_entry()] = call_exit
+    with pytest.raises(VerificationError,
+                       match="return_map key .* is not an exit"):
+        verify_icfg(icfg)
+
+
+def test_invariant6_entry_with_non_call_in_edge_named():
+    icfg = build(SOURCE)
+    entry = icfg.procs["f"].entries[0]
+    nop = [n for n in icfg.iter_nodes()
+           if isinstance(n, NopNode) and n.proc == "f"][0]
+    for edge in list(icfg.succ_edges(nop.id)):
+        icfg.remove_edge(edge)
+    icfg.add_edge(nop.id, entry, EdgeKind.NORMAL)
+    with pytest.raises(VerificationError, match="non-CALL in-edges"):
+        verify_icfg(icfg)
+
+
+def test_invariant6_exit_with_non_return_out_edge_named():
+    icfg = build(SOURCE)
+    exit_id = icfg.procs["f"].exits[0]
+    nop = [n for n in icfg.iter_nodes()
+           if isinstance(n, NopNode) and n.proc == "f"][0]
+    icfg.add_edge(exit_id, nop.id, EdgeKind.NORMAL)
+    with pytest.raises(VerificationError, match="non-RETURN out-edges"):
+        verify_icfg(icfg)

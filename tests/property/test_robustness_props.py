@@ -1,0 +1,60 @@
+"""Crash-proofness of the transactional optimizer, property-style.
+
+For random generated programs and randomly targeted fault injections,
+the non-strict optimizer must (a) never leak an exception, (b) always
+return a verifier-clean graph, (c) remain observably equivalent to the
+input program, and (d) leave the input graph untouched.  This is the
+whole robustness contract in one sentence, so it gets hammered with
+hypothesis rather than a handful of hand-picked scenarios.
+"""
+
+from hypothesis import given, settings, strategies as st
+
+from repro.analysis import AnalysisConfig
+from repro.benchgen import GeneratorOptions, generate_program
+from repro.ir import dump_icfg, lower_program, verify_icfg
+from repro.robustness import (CORRUPTION_ACTIONS, FaultPlan, FaultSpec,
+                              differential_check)
+from repro.transform import ICBEOptimizer, OptimizerOptions
+
+OPTIONS = GeneratorOptions(procedures=3, statements_per_proc=7)
+CONFIG = AnalysisConfig(budget=10_000)
+
+# Every site the pipeline actually hits, so hypothesis can aim anywhere.
+SITES = ("analysis:pair", "transform:split", "transform:eliminate",
+         "transform:verify", "pipeline:branch-start", "pipeline:simplify",
+         "diffcheck:run")
+
+fault_specs = st.builds(
+    FaultSpec,
+    site=st.sampled_from(SITES),
+    hit=st.integers(1, 4),
+    action=st.sampled_from(("raise",) + CORRUPTION_ACTIONS),
+    seed=st.integers(0, 99))
+
+
+@given(seed=st.integers(0, 4_000),
+       specs=st.lists(fault_specs, min_size=1, max_size=3))
+@settings(max_examples=12, deadline=None)
+def test_optimizer_survives_arbitrary_fault_plans(seed, specs):
+    icfg = lower_program(generate_program(seed, OPTIONS))
+    pristine = dump_icfg(icfg)
+    optimizer = ICBEOptimizer(OptimizerOptions(
+        config=CONFIG, diff_check=True, fault_plan=FaultPlan(list(specs))))
+    report = optimizer.optimize(icfg)  # must not raise
+    assert dump_icfg(icfg) == pristine  # input never mutated
+    verify_icfg(report.optimized)
+    assert differential_check(icfg, report.optimized).ok
+    # Bookkeeping stays coherent: every conditional got exactly one record.
+    assert sum(report.outcome_counts().values()) == len(report.records)
+
+
+@given(seed=st.integers(0, 4_000))
+@settings(max_examples=8, deadline=None)
+def test_fault_free_robust_run_equals_plain_run(seed):
+    icfg = lower_program(generate_program(seed, OPTIONS))
+    robust = ICBEOptimizer(OptimizerOptions(
+        config=CONFIG, diff_check=True)).optimize(icfg)
+    plain = ICBEOptimizer(OptimizerOptions(config=CONFIG)).optimize(icfg)
+    assert robust.failed_count == plain.failed_count == 0
+    assert dump_icfg(robust.optimized) == dump_icfg(plain.optimized)

@@ -1,0 +1,67 @@
+"""Differential validation of observable traces."""
+
+import random
+
+import pytest
+
+from tests.helpers import FGETC_LIKE, build
+
+from repro.errors import DifferentialMismatch
+from repro.interp import Workload
+from repro.robustness import (corrupt_icfg, differential_check,
+                              require_equivalent, seeded_workloads)
+
+
+def test_identical_graphs_pass():
+    icfg = build(FGETC_LIKE)
+    report = differential_check(icfg, icfg.clone())
+    assert report.ok
+    assert report.runs == 4  # empty + 3 seeded
+    assert "ok" in report.describe()
+
+
+def test_semantic_divergence_is_caught():
+    icfg = build(FGETC_LIKE)
+    skewed = icfg.clone()
+    corrupt_icfg(skewed, "skew-print", random.Random(3))
+    report = differential_check(icfg, skewed)
+    assert not report.ok
+    assert report.mismatches
+    mismatch = report.mismatches[0]
+    assert mismatch.original != mismatch.optimized
+    assert "mismatch" in report.describe()
+
+
+def test_require_equivalent_raises_on_divergence():
+    icfg = build(FGETC_LIKE)
+    skewed = icfg.clone()
+    corrupt_icfg(skewed, "skew-print", random.Random(3))
+    require_equivalent(icfg, icfg.clone())
+    with pytest.raises(DifferentialMismatch):
+        require_equivalent(icfg, skewed)
+
+
+def test_caller_supplied_workloads_are_reusable():
+    icfg = build(FGETC_LIKE)
+    loads = [Workload([9, 9, 0], name="explicit")]
+    first = differential_check(icfg, icfg.clone(), workloads=loads)
+    second = differential_check(icfg, icfg.clone(), workloads=loads)
+    assert first.ok and second.ok
+
+
+def test_seeded_workloads_are_deterministic():
+    a = seeded_workloads(seed=42, runs=2, length=8)
+    b = seeded_workloads(seed=42, runs=2, length=8)
+    assert [w.values for w in a] == [w.values for w in b]
+    assert a[0].values == []  # the empty stream leads the battery
+    assert len(a) == 3
+
+
+def test_neither_graph_is_mutated():
+    from repro.ir import dump_icfg
+    icfg = build(FGETC_LIKE)
+    other = icfg.clone()
+    before_a, before_b = dump_icfg(icfg), dump_icfg(other)
+    differential_check(icfg, other)
+    assert dump_icfg(icfg) == before_a
+    assert dump_icfg(other) == before_b

@@ -1,0 +1,93 @@
+"""Fault injection: deterministic, precisely targeted, observable."""
+
+import random
+
+import pytest
+
+from tests.helpers import FGETC_LIKE, build
+
+from repro.errors import FaultInjected, VerificationError
+from repro.ir import dump_icfg, verify_icfg
+from repro.robustness import (CORRUPTION_ACTIONS, FaultPlan, FaultSpec,
+                              checkpoint, corrupt_icfg, robustness_context)
+
+
+def test_raise_fires_on_exact_hit_count():
+    plan = FaultPlan.raising("site", hit=3, message="boom")
+    with robustness_context(plan=plan):
+        checkpoint("site")
+        checkpoint("site")
+        with pytest.raises(FaultInjected, match="boom"):
+            checkpoint("site")
+    assert plan.hits["site"] == 3
+    assert len(plan.fired) == 1
+    assert plan.fired[0].hit == 3
+
+
+def test_other_sites_do_not_consume_hits():
+    plan = FaultPlan.raising("target", hit=1)
+    with robustness_context(plan=plan):
+        checkpoint("unrelated")
+        checkpoint("also-unrelated")
+        with pytest.raises(FaultInjected):
+            checkpoint("target")
+
+
+def test_custom_exception_type():
+    plan = FaultPlan([FaultSpec("site", exception=MemoryError)])
+    with robustness_context(plan=plan):
+        with pytest.raises(MemoryError):
+            checkpoint("site")
+
+
+def test_reset_rearms_the_plan():
+    plan = FaultPlan.raising("site", hit=1)
+    with robustness_context(plan=plan):
+        with pytest.raises(FaultInjected):
+            checkpoint("site")
+        checkpoint("site")  # hit 2: spec does not fire again
+        plan.reset()
+        with pytest.raises(FaultInjected):
+            checkpoint("site")
+
+
+def test_structural_corruptions_break_the_verifier():
+    for action in ("drop-edge", "stray-edge", "drop-node", "clear-exits"):
+        icfg = build(FGETC_LIKE)
+        detail = corrupt_icfg(icfg, action, random.Random(7))
+        assert not detail.startswith("noop"), (action, detail)
+        with pytest.raises(VerificationError):
+            verify_icfg(icfg)
+
+
+def test_skew_print_is_verifier_clean_but_semantically_wrong():
+    from repro.interp import Workload, run_icfg
+    icfg = build(FGETC_LIKE)
+    pristine = build(FGETC_LIKE)
+    detail = corrupt_icfg(icfg, "skew-print", random.Random(7))
+    assert detail.startswith("skewed")
+    verify_icfg(icfg)  # structure untouched
+    workload = Workload([5, 3, 0])
+    assert (run_icfg(icfg, workload.fresh()).observable
+            != run_icfg(pristine, workload.fresh()).observable)
+
+
+def test_corruption_is_deterministic_per_seed():
+    first, second = build(FGETC_LIKE), build(FGETC_LIKE)
+    for action in CORRUPTION_ACTIONS:
+        a = corrupt_icfg(first, action, random.Random(13))
+        b = corrupt_icfg(second, action, random.Random(13))
+        assert a == b
+    assert dump_icfg(first) == dump_icfg(second)
+
+
+def test_corruption_fault_skipped_without_a_graph():
+    plan = FaultPlan.corrupting("site", action="drop-edge")
+    with robustness_context(plan=plan):
+        checkpoint("site")  # no icfg at this site: nothing to corrupt
+    assert plan.fired == []
+
+
+def test_unknown_action_is_rejected():
+    with pytest.raises(ValueError, match="unknown corruption"):
+        corrupt_icfg(build(FGETC_LIKE), "set-on-fire", random.Random(0))

@@ -1,0 +1,71 @@
+"""Snapshot/restore: the mechanism under every transaction."""
+
+from tests.helpers import FGETC_LIKE, build
+
+from repro.ir import dump_icfg, verify_icfg
+from repro.ir.icfg import EdgeKind
+from repro.robustness import ICFGSnapshot
+
+
+def test_restore_roundtrips_structure():
+    icfg = build(FGETC_LIKE)
+    reference = dump_icfg(icfg)
+    snapshot = ICFGSnapshot.take(icfg)
+    restored = snapshot.restore()
+    verify_icfg(restored)
+    assert dump_icfg(restored) == reference
+    assert snapshot.node_count == icfg.node_count()
+
+
+def test_taking_a_snapshot_leaves_the_graph_unharmed():
+    icfg = build(FGETC_LIKE)
+    reference = dump_icfg(icfg)
+    ICFGSnapshot.take(icfg)
+    assert dump_icfg(icfg) == reference
+    verify_icfg(icfg)
+
+
+def test_restore_in_place_heals_mutation():
+    icfg = build(FGETC_LIKE)
+    reference = dump_icfg(icfg)
+    snapshot = ICFGSnapshot.take(icfg)
+    # Corrupt the live graph thoroughly.
+    some_node = next(iter(sorted(icfg.nodes)))
+    for edge in list(icfg.succ_edges(some_node)):
+        icfg.remove_edge(edge)
+    icfg.procs[icfg.main].exits.clear()
+    same_object = snapshot.restore(into=icfg)
+    assert same_object is icfg
+    assert dump_icfg(icfg) == reference
+    verify_icfg(icfg)
+
+
+def test_snapshot_survives_multiple_restores():
+    icfg = build(FGETC_LIKE)
+    snapshot = ICFGSnapshot.take(icfg)
+    first = snapshot.restore()
+    # Mutating the first restoration must not leak into the second.
+    victim = sorted(first.nodes)[0]
+    for edge in list(first.succ_edges(victim)):
+        first.remove_edge(edge)
+    second = snapshot.restore()
+    verify_icfg(second)
+    assert dump_icfg(second) == dump_icfg(icfg)
+
+
+def test_restored_id_allocator_does_not_recycle_ids():
+    icfg = build(FGETC_LIKE)
+    snapshot = ICFGSnapshot.take(icfg)
+    restored = snapshot.restore()
+    fresh = restored.new_id()
+    assert fresh not in restored.nodes
+
+
+def test_restored_graph_is_independent_of_original():
+    icfg = build(FGETC_LIKE)
+    snapshot = ICFGSnapshot.take(icfg)
+    restored = snapshot.restore()
+    entry = icfg.main_entry()
+    succ = icfg.only_succ(entry, EdgeKind.NORMAL)
+    icfg.remove_edge(icfg.succ_edges(entry)[0])
+    assert restored.only_succ(entry, EdgeKind.NORMAL) == succ
