@@ -23,6 +23,7 @@ resolved answers forward with set-union merging.
 from repro.analysis.answers import (Answer, AnswerSet, FALSE, TRUE, UNDEF,
                                     trans)
 from repro.analysis.config import AnalysisConfig, CorrelationSource
+from repro.analysis.context import AnalysisContext, CacheStats
 from repro.analysis.cost import (duplication_upper_bound,
                                  eliminated_executions_estimate)
 from repro.analysis.driver import analyze_branch
@@ -33,7 +34,8 @@ from repro.analysis.result import CorrelationResult
 from repro.analysis.rollback import collect_answers
 
 __all__ = [
-    "AnalysisConfig", "AnalysisStats", "Answer", "AnswerSet",
+    "AnalysisConfig", "AnalysisContext", "AnalysisStats", "Answer",
+    "AnswerSet", "CacheStats",
     "CorrelationEngine", "CorrelationResult", "CorrelationSource", "FALSE",
     "Query", "TRUE", "UNDEF", "ValueSet", "analyze_branch",
     "collect_answers", "decide", "duplication_upper_bound",

@@ -1,0 +1,275 @@
+"""Shared, incrementally-invalidated analysis state across branches.
+
+The demand-driven analysis is cheap *per branch*, but the optimizer
+used to throw every derived fact away between branches: each
+conditional rebuilt mod/ref summaries, re-interned nothing, and
+re-raised summary queries earlier branches had already answered.  The
+:class:`AnalysisContext` makes those facts first-class cached
+artifacts, keyed to the graph's mutation *generation*
+(:attr:`~repro.ir.icfg.ICFG.generation`), and invalidates them with
+procedure-level precision using the graph's dirty sets.
+
+Cached artifacts and their invalidation rules:
+
+``summaries``
+    Answer sets of completed summary-node queries, keyed
+    ``(callee, exit node, plain query)``.  A summary's answers depend
+    only on its callee's body and the bodies of that callee's
+    transitive callees (summary queries stop at procedure entries with
+    TRANS), so an entry is invalidated exactly when a committed
+    transform dirties a procedure in that closure.  Only analyses that
+    ran to completion (no budget exhaustion) may populate the cache —
+    truncated answer sets are not exact and would poison reuse.
+
+``modref``
+    The transitive MOD sets and the call graph.  Any dirty procedure
+    drops them (MOD is a whole-program fixpoint; recomputing it is
+    cheaper than incrementalising it).
+
+``indices``
+    Per-procedure adjacency indices (currently the branch-node index
+    the optimizer's pending scan uses).  Any dirty procedure drops
+    them.
+
+Lifecycle: the pass manager calls :meth:`commit` after a transaction's
+result is adopted — only then do dirty procedures invalidate entries —
+and :meth:`rollback` after a restore, which invalidates *nothing*
+because restoring a snapshot also restores the generation the caches
+are keyed to.  A context whose generation disagrees with the graph's
+simply stands aside (:meth:`in_sync` is False and every lookup misses),
+so a desynchronised cache can cause a slow path but never a wrong one.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, FrozenSet, List, Optional, Set, Tuple
+
+from repro.analysis.answers import Answer
+from repro.analysis.facts import ValueSet
+from repro.analysis.modref import call_graph, transitive_mod_sets
+from repro.analysis.query import Query
+from repro.ir.expr import VarId
+from repro.ir.icfg import ICFG
+from repro.ir.nodes import BranchNode
+
+#: Cache key of one summary-node entry: (callee, exit node, plain query).
+SummaryKey = Tuple[str, int, Query]
+
+
+@dataclass
+class CacheStats:
+    """Hit/miss/invalidation accounting for one optimizer run."""
+
+    summary_hits: int = 0
+    summary_misses: int = 0
+    summary_stored: int = 0
+    summary_invalidated: int = 0
+    modref_reuses: int = 0
+    modref_invalidated: int = 0
+    index_reuses: int = 0
+    index_invalidated: int = 0
+    snapshot_reuses: int = 0
+    restores_elided: int = 0
+    analyses_reused: int = 0
+    commits: int = 0
+    rollbacks: int = 0
+
+    @property
+    def summary_lookups(self) -> int:
+        return self.summary_hits + self.summary_misses
+
+    def describe(self) -> str:
+        return (f"summary cache: {self.summary_hits} hits / "
+                f"{self.summary_misses} misses / "
+                f"{self.summary_invalidated} invalidated "
+                f"({self.summary_stored} stored); "
+                f"{self.analyses_reused} analyses reused, "
+                f"{self.snapshot_reuses} snapshots reused, "
+                f"{self.restores_elided} restores elided")
+
+
+class AnalysisContext:
+    """Cross-branch cache of analysis artifacts for one optimizer run."""
+
+    #: Names passes use to declare which cached analyses they preserve.
+    SUMMARIES = "summaries"
+    MODREF = "modref"
+    INDICES = "indices"
+    ALL: FrozenSet[str] = frozenset((SUMMARIES, MODREF, INDICES))
+
+    def __init__(self, enabled: bool = True) -> None:
+        self.enabled = enabled
+        #: Generation of the graph every cached artifact describes, or
+        #: None before the context is bound to a run.
+        self.generation: Optional[int] = None
+        self.stats = CacheStats()
+        self._queries: Dict[Query, Query] = {}
+        self._value_sets: Dict[ValueSet, ValueSet] = {}
+        self._summaries: Dict[SummaryKey, FrozenSet[Answer]] = {}
+        self._summary_deps: Dict[SummaryKey, FrozenSet[str]] = {}
+        self._mod_sets: Optional[Dict[str, Set[VarId]]] = None
+        self._call_graph: Optional[Dict[str, Set[str]]] = None
+        self._branch_index: Optional[Dict[str, List[int]]] = None
+        self._branch_ids: Optional[List[int]] = None
+
+    # -- lifecycle -----------------------------------------------------------
+
+    def bind(self, icfg: ICFG) -> None:
+        """Attach to a run's working graph, dropping every cached fact."""
+        self.generation = icfg.generation
+        self._summaries.clear()
+        self._summary_deps.clear()
+        self._mod_sets = None
+        self._call_graph = None
+        self._branch_index = None
+        self._branch_ids = None
+
+    def in_sync(self, icfg: ICFG) -> bool:
+        """True when cached facts describe exactly this graph state."""
+        return self.enabled and self.generation == icfg.generation
+
+    def commit(self, icfg: ICFG,
+               preserves: FrozenSet[str] = frozenset()) -> None:
+        """A transform on ``icfg``'s lineage was adopted: invalidate
+        cached facts reaching the dirty procedures, except the analyses
+        the committing pass declared it preserves."""
+        if not self.enabled:
+            return
+        self.stats.commits += 1
+        if self.generation is None or icfg.generation < self.generation:
+            # Unknown lineage: be safe and start over.
+            self.bind(icfg)
+            return
+        dirty = icfg.dirty_procs_since(self.generation)
+        self.generation = icfg.generation
+        if not dirty:
+            return
+        if self.SUMMARIES not in preserves:
+            doomed = [key for key, deps in self._summary_deps.items()
+                      if deps & dirty]
+            for key in doomed:
+                del self._summaries[key]
+                del self._summary_deps[key]
+            self.stats.summary_invalidated += len(doomed)
+        if self.MODREF not in preserves:
+            if self._mod_sets is not None or self._call_graph is not None:
+                self.stats.modref_invalidated += 1
+            self._mod_sets = None
+            self._call_graph = None
+        if self.INDICES not in preserves:
+            if self._branch_index is not None:
+                self.stats.index_invalidated += 1
+            self._branch_index = None
+            self._branch_ids = None
+
+    def rollback(self, icfg: ICFG) -> None:
+        """A transaction was rolled back.  Restoring a snapshot also
+        restores the generation, so cached facts are valid again and
+        nothing is invalidated."""
+        if not self.enabled:
+            return
+        self.stats.rollbacks += 1
+        if self.generation is not None and icfg.generation != self.generation:
+            # The restore did not land on the cached generation (an
+            # out-of-lineage graph was swapped in): resynchronise.
+            self.bind(icfg)
+
+    # -- interning -----------------------------------------------------------
+
+    def intern_query(self, query: Query) -> Query:
+        """The canonical instance of ``query`` (identity-stable across
+        branches, which turns dict probes into pointer comparisons)."""
+        cached = self._queries.get(query)
+        if cached is not None:
+            return cached
+        self._queries[query] = query
+        return query
+
+    def intern_value_set(self, values: ValueSet) -> ValueSet:
+        cached = self._value_sets.get(values)
+        if cached is not None:
+            return cached
+        self._value_sets[values] = values
+        return values
+
+    # -- memoized whole-program analyses -------------------------------------
+
+    def mod_sets(self, icfg: ICFG) -> Dict[str, Set[VarId]]:
+        """Memoized :func:`~repro.analysis.modref.transitive_mod_sets`."""
+        if not self.in_sync(icfg):
+            return transitive_mod_sets(icfg)
+        if self._mod_sets is None:
+            self._mod_sets = transitive_mod_sets(icfg)
+        else:
+            self.stats.modref_reuses += 1
+        return self._mod_sets
+
+    def callees_of(self, icfg: ICFG) -> Dict[str, Set[str]]:
+        """Memoized call graph (caller -> callees)."""
+        if not self.in_sync(icfg):
+            return call_graph(icfg)
+        if self._call_graph is None:
+            self._call_graph = call_graph(icfg)
+        else:
+            self.stats.modref_reuses += 1
+        return self._call_graph
+
+    def branch_ids(self, icfg: ICFG) -> List[int]:
+        """All branch-node ids, ascending, from the per-procedure index."""
+        if not self.in_sync(icfg):
+            return [b.id for b in icfg.branch_nodes()]
+        if self._branch_ids is None:
+            per_proc: Dict[str, List[int]] = {}
+            for node in icfg.iter_nodes():
+                if isinstance(node, BranchNode):
+                    per_proc.setdefault(node.proc, []).append(node.id)
+            self._branch_index = per_proc
+            self._branch_ids = [bid for ids in per_proc.values()
+                                for bid in ids]
+            self._branch_ids.sort()
+        else:
+            self.stats.index_reuses += 1
+        return self._branch_ids
+
+    def _callee_closure(self, icfg: ICFG, proc: str) -> FrozenSet[str]:
+        """``proc`` plus its transitive callees — everything a summary
+        computed inside ``proc`` can structurally depend on."""
+        graph = self.callees_of(icfg)
+        seen = {proc}
+        stack = [proc]
+        while stack:
+            for callee in graph.get(stack.pop(), ()):
+                if callee not in seen:
+                    seen.add(callee)
+                    stack.append(callee)
+        return frozenset(seen)
+
+    # -- the cross-branch summary cache --------------------------------------
+
+    def lookup_summary(self, icfg: ICFG, callee: str, exit_id: int,
+                       plain_query: Query) -> Optional[FrozenSet[Answer]]:
+        """The cached answer set of a summary-node query, or None."""
+        if not self.in_sync(icfg):
+            return None
+        found = self._summaries.get((callee, exit_id, plain_query))
+        if found is None:
+            self.stats.summary_misses += 1
+        else:
+            self.stats.summary_hits += 1
+        return found
+
+    def store_summary(self, icfg: ICFG, callee: str, exit_id: int,
+                      plain_query: Query, answers: FrozenSet[Answer]) -> None:
+        """Record a *completed* summary-node entry for later branches."""
+        if not self.in_sync(icfg):
+            return
+        key = (callee, exit_id, self.intern_query(plain_query))
+        if key in self._summaries:
+            return
+        self._summaries[key] = answers
+        self._summary_deps[key] = self._callee_closure(icfg, callee)
+        self.stats.summary_stored += 1
+
+    def summary_count(self) -> int:
+        return len(self._summaries)

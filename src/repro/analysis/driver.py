@@ -5,7 +5,8 @@ from __future__ import annotations
 from typing import Optional
 
 from repro.analysis.config import AnalysisConfig
-from repro.analysis.engine import CorrelationEngine
+from repro.analysis.context import AnalysisContext
+from repro.analysis.engine import CachedSummaryDisposition, CorrelationEngine
 from repro.analysis.result import CorrelationResult
 from repro.analysis.rollback import collect_answers
 from repro.errors import AnalysisError
@@ -15,23 +16,55 @@ from repro.ir.nodes import BranchNode
 
 def analyze_branch(icfg: ICFG, branch_id: int,
                    config: Optional[AnalysisConfig] = None,
-                   engine: Optional[CorrelationEngine] = None
+                   engine: Optional[CorrelationEngine] = None,
+                   context: Optional[AnalysisContext] = None
                    ) -> CorrelationResult:
     """Analyze one conditional: backward query propagation + rollback.
 
     Pass a shared ``engine`` to reuse its query cache across conditionals
     (paper §3.3's O(C*N*V) caching variant).  The caller must not modify
     the graph between analyses sharing an engine.
+
+    Pass a ``context`` (an :class:`~repro.analysis.context.AnalysisContext`
+    in sync with ``icfg``) to consult and populate the cross-branch
+    summary cache: completed summary-node entries of this analysis are
+    stored for later conditionals.
     """
     node = icfg.nodes.get(branch_id)
     if not isinstance(node, BranchNode):
         raise AnalysisError(f"node {branch_id} is not a conditional branch")
     reuse = engine is not None
     if engine is None:
-        engine = CorrelationEngine(icfg, config)
+        engine = CorrelationEngine(icfg, config, context=context)
     initial = engine.analyze(node, reuse_cache=reuse)
     if initial is None:
         return CorrelationResult(icfg, branch_id, None, None)
     answers = collect_answers(engine)
+    if engine.context is not None and not engine.stats.budget_exhausted:
+        _store_summaries(engine, answers)
     return CorrelationResult(icfg, branch_id, initial, engine,
                              answers=answers, stats=engine.stats)
+
+
+def _store_summaries(engine: CorrelationEngine, answers) -> None:
+    """Populate the context's summary cache from a *completed* analysis.
+
+    Only exact entries are stored: a budget-exhausted analysis left
+    pairs unprocessed (they contributed ``{UNDEF}``), so its answer
+    sets may understate the real flows — the caller skips it entirely.
+    Entries that were themselves answered from the cache are skipped
+    (they are already stored).
+    """
+    context = engine.context
+    assert context is not None
+    for (node_id, query), answer_set in answers.items():
+        if not query.is_summary or query.summary_exit != node_id:
+            continue
+        if isinstance(engine.dispositions.get((node_id, query)),
+                      CachedSummaryDisposition):
+            continue
+        node = engine.icfg.nodes.get(node_id)
+        if node is None:
+            continue
+        context.store_summary(engine.icfg, node.proc, node_id,
+                              query.as_plain(), answer_set)

@@ -16,19 +16,26 @@ FALSE; otherwise the fact does not decide the query.
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+from dataclasses import dataclass, field
+from functools import lru_cache
 from typing import Optional
 
 from repro.ir.ops import RelOp, UNSIGNED_MASK
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class ValueSet:
-    """``{x : lo <= x <= hi} \\ {exclude}`` with None bounds = infinite."""
+    """``{x : lo <= x <= hi} \\ {exclude}`` with None bounds = infinite.
+
+    Value sets are compared and hashed constantly by the decision
+    procedure, so the hash is cached at construction (after the
+    exclusion is normalised, which is part of value identity).
+    """
 
     lo: Optional[int] = None
     hi: Optional[int] = None
     exclude: Optional[int] = None
+    _hash: int = field(init=False, repr=False, compare=False, default=0)
 
     def __post_init__(self) -> None:
         if (self.lo is not None and self.hi is not None
@@ -37,6 +44,11 @@ class ValueSet:
         if self.exclude is not None and not self._interval_contains(self.exclude):
             # A moot exclusion; normalise it away for value equality.
             object.__setattr__(self, "exclude", None)
+        object.__setattr__(self, "_hash",
+                           hash((self.lo, self.hi, self.exclude)))
+
+    def __hash__(self) -> int:
+        return self._hash
 
     # -- constructors ------------------------------------------------------
 
@@ -66,18 +78,9 @@ class ValueSet:
 
     @staticmethod
     def from_relop(relop: RelOp, const: int) -> "ValueSet":
-        """The set of values v with ``v relop const``."""
-        if relop is RelOp.EQ:
-            return ValueSet.singleton(const)
-        if relop is RelOp.NE:
-            return ValueSet.everything_but(const)
-        if relop is RelOp.LT:
-            return ValueSet.at_most(const - 1)
-        if relop is RelOp.LE:
-            return ValueSet.at_most(const)
-        if relop is RelOp.GT:
-            return ValueSet.at_least(const + 1)
-        return ValueSet.at_least(const)  # GE
+        """The set of values v with ``v relop const`` (interned: the
+        same relation always returns the same object)."""
+        return _from_relop_interned(relop, const)
 
     # -- predicates -----------------------------------------------------------
 
@@ -170,6 +173,21 @@ class ValueSet:
         if self.exclude is not None:
             base += f" \\ {{{self.exclude}}}"
         return base
+
+
+@lru_cache(maxsize=4096)
+def _from_relop_interned(relop: RelOp, const: int) -> ValueSet:
+    if relop is RelOp.EQ:
+        return ValueSet.singleton(const)
+    if relop is RelOp.NE:
+        return ValueSet.everything_but(const)
+    if relop is RelOp.LT:
+        return ValueSet.at_most(const - 1)
+    if relop is RelOp.LE:
+        return ValueSet.at_most(const)
+    if relop is RelOp.GT:
+        return ValueSet.at_least(const + 1)
+    return ValueSet.at_least(const)  # GE
 
 
 def _gap_below(inner: ValueSet, outer: ValueSet) -> Optional[int]:

@@ -12,25 +12,38 @@ assignment.  We support the generalised offset form: crossing
 
 from __future__ import annotations
 
-from dataclasses import dataclass, replace
+from dataclasses import dataclass, field, replace
 from typing import Optional
 
 from repro.ir.expr import VarId
 from repro.ir.ops import RelOp
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class Query:
     """``(var relop const)``, optionally tagged as a summary-node query.
 
     ``summary_exit`` is the procedure-exit node id the summary is being
     computed for, or ``None`` for ordinary (caller-context) queries.
+
+    Queries are dictionary keys on every hot path of the analysis (the
+    raised-query table, dispositions, the continuation table), so the
+    hash is computed once at construction and ``__slots__`` keeps the
+    instances lean.
     """
 
     var: VarId
     relop: RelOp
     const: int
     summary_exit: Optional[int] = None
+    _hash: int = field(init=False, repr=False, compare=False, default=0)
+
+    def __post_init__(self) -> None:
+        object.__setattr__(self, "_hash", hash(
+            (self.var, self.relop, self.const, self.summary_exit)))
+
+    def __hash__(self) -> int:
+        return self._hash
 
     @property
     def is_summary(self) -> bool:

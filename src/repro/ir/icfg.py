@@ -20,7 +20,7 @@ from __future__ import annotations
 
 from dataclasses import dataclass, field
 from enum import Enum, unique
-from typing import Dict, Iterator, List, Optional, Tuple
+from typing import Dict, Iterator, List, Optional, Set, Tuple
 
 from repro.errors import LoweringError
 from repro.ir.expr import VarId
@@ -90,6 +90,39 @@ class ICFG:
         self._succs: Dict[int, List[Edge]] = {}
         self._preds: Dict[int, List[Edge]] = {}
         self._ids = IdAllocator()
+        #: Monotonically-increasing mutation counter.  Every structural
+        #: mutation bumps it, so ``generation`` equality between two
+        #: points in time proves the graph was not touched in between —
+        #: the validity token for every cached analysis.
+        self.generation: int = 0
+        #: proc name -> generation of its last structural change.  A
+        #: name may outlive its procedure (``remove_unreachable`` can
+        #: delete procs); staleness queries must tolerate that.
+        self._proc_touched: Dict[str, int] = {}
+
+    # -- mutation tracking ---------------------------------------------------
+
+    def _touch(self, *procs: str) -> None:
+        """Record a structural mutation affecting ``procs``."""
+        self.generation += 1
+        for proc in procs:
+            self._proc_touched[proc] = self.generation
+
+    def mark_all_dirty(self) -> None:
+        """Declare out-of-band mutation of unknown extent (e.g. fault
+        injection that bypasses the mutator methods): every procedure is
+        considered touched and the generation advances."""
+        self.generation += 1
+        for name in self.procs:
+            self._proc_touched[name] = self.generation
+        for name in self._proc_touched:
+            self._proc_touched[name] = self.generation
+
+    def dirty_procs_since(self, generation: int) -> Set[str]:
+        """Names of procedures structurally changed after ``generation``
+        (including procedures deleted since then)."""
+        return {name for name, gen in self._proc_touched.items()
+                if gen > generation}
 
     # -- construction -------------------------------------------------------
 
@@ -105,6 +138,7 @@ class ICFG:
         self._succs[node.id] = []
         self._preds[node.id] = []
         self._ids.reserve_through(node.id)
+        self._touch(node.proc)
         return node
 
     def new_id(self) -> int:
@@ -116,11 +150,13 @@ class ICFG:
             raise LoweringError(f"duplicate edge {edge}")
         self._succs[src].append(edge)
         self._preds[dst].append(edge)
+        self._touch(self.nodes[src].proc, self.nodes[dst].proc)
         return edge
 
     def remove_edge(self, edge: Edge) -> None:
         self._succs[edge.src].remove(edge)
         self._preds[edge.dst].remove(edge)
+        self._touch(self.nodes[edge.src].proc, self.nodes[edge.dst].proc)
 
     def has_edge(self, src: int, dst: int, kind: EdgeKind) -> bool:
         return Edge(src, dst, kind) in self._succs[src]
@@ -134,6 +170,7 @@ class ICFG:
         node = self.nodes.pop(node_id)
         del self._succs[node_id]
         del self._preds[node_id]
+        self._touch(node.proc)
         info = self.procs.get(node.proc)
         if info is not None:
             if node_id in info.entries:
@@ -279,6 +316,7 @@ class ICFG:
         for name in list(self.procs):
             if name not in populated and name != self.main:
                 del self.procs[name]
+                self._touch(name)
         return len(doomed)
 
     def clone(self) -> "ICFG":
@@ -297,4 +335,6 @@ class ICFG:
                 other._succs[edge.src].append(edge)
                 other._preds[edge.dst].append(edge)
         other._ids = self._ids.clone()
+        other.generation = self.generation
+        other._proc_touched = dict(self._proc_touched)
         return other

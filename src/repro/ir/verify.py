@@ -28,7 +28,7 @@ Checked invariants:
 
 from __future__ import annotations
 
-from typing import Dict, List, Set
+from typing import Dict, Iterable, List, Optional, Set
 
 from repro.errors import VerificationError
 from repro.ir.icfg import EdgeKind, ICFG, INTRA_KINDS
@@ -197,9 +197,40 @@ def _check_node(icfg: ICFG, node: Node) -> None:
             _fail(f"node {node.id} has in-edge of kind {kind}")
 
 
-def _check_proc_lists(icfg: ICFG) -> None:
+def _check_edge_symmetry_scoped(icfg: ICFG, node_ids: Iterable[int]) -> None:
+    """Edge-index symmetry restricted to edges incident to ``node_ids``.
+
+    Sufficient when every edge mutation touches both endpoint
+    procedures (which :class:`~repro.ir.icfg.ICFG`'s mutators
+    guarantee): an edge between two clean procedures cannot have
+    changed, so only scope-incident edges need re-checking.
+    """
+    for node_id in node_ids:
+        edges = icfg.succ_edges(node_id)
+        if len(set(edges)) != len(edges):
+            _fail(f"duplicate out-edges at node {node_id}")
+        for edge in edges:
+            if edge.src != node_id:
+                _fail(f"edge {edge} filed under wrong source {node_id}")
+            if edge.dst not in icfg.nodes:
+                _fail(f"edge {edge} targets unknown node")
+            if edge not in icfg.pred_edges(edge.dst):
+                _fail(f"edge {edge} missing from predecessor index")
+        for edge in icfg.pred_edges(node_id):
+            if edge.dst != node_id:
+                _fail(f"edge {edge} filed under wrong destination {node_id}")
+            if edge.src not in icfg.nodes:
+                _fail(f"edge {edge} comes from unknown node")
+            if edge not in icfg.succ_edges(edge.src):
+                _fail(f"edge {edge} missing from successor index")
+
+
+def _check_proc_lists(icfg: ICFG,
+                      scope: Optional[Set[str]] = None) -> None:
     listed: List[int] = []
     for info in icfg.procs.values():
+        if scope is not None and info.name not in scope:
+            continue
         if not info.entries:
             _fail(f"procedure {info.name!r} has no entry")
         if not info.exits:
@@ -218,11 +249,32 @@ def _check_proc_lists(icfg: ICFG) -> None:
         _fail("a node appears twice in entry/exit lists")
 
 
-def verify_icfg(icfg: ICFG) -> None:
-    """Raise :class:`VerificationError` on the first broken invariant."""
+def verify_icfg(icfg: ICFG, procs: Optional[Iterable[str]] = None) -> None:
+    """Raise :class:`VerificationError` on the first broken invariant.
+
+    With ``procs`` the check is *scoped*: only nodes, lists, and
+    incident edges of the named procedures are re-checked.  That is
+    sound for incremental re-verification exactly when ``procs`` covers
+    every procedure structurally changed since the graph was last known
+    clean (the ICFG's dirty-set tracking provides that set, and
+    out-of-band mutation marks everything dirty).  ``procs=None`` is
+    the full check.
+    """
     if icfg.main not in icfg.procs:
         _fail(f"main procedure {icfg.main!r} missing")
-    _check_edge_symmetry(icfg)
-    _check_proc_lists(icfg)
-    for node in icfg.iter_nodes():
+    if procs is None:
+        _check_edge_symmetry(icfg)
+        _check_proc_lists(icfg)
+        for node in icfg.iter_nodes():
+            _check_node(icfg, node)
+        return
+    scope = set(procs)
+    if not scope:
+        return
+    scoped_nodes = [node for node in icfg.iter_nodes()
+                    if node.proc in scope]
+    _check_edge_symmetry_scoped(icfg, [node.id for node in scoped_nodes])
+    _check_proc_lists(icfg, scope={name for name in scope
+                                   if name in icfg.procs})
+    for node in scoped_nodes:
         _check_node(icfg, node)

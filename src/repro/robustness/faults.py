@@ -132,7 +132,14 @@ def corrupt_icfg(icfg: ICFG, action: str, rng: random.Random) -> str:
     Deterministic given the RNG.  Structural actions break a verifier
     invariant; ``skew-print`` keeps the graph verifier-clean but changes
     its observable behaviour.
+
+    Several actions bypass the graph's mutator methods on purpose (that
+    is the kind of bug they simulate), so the graph is marked wholly
+    dirty up front: generation-gated machinery (snapshot reuse, scoped
+    verification, the analysis context) must never mistake a corrupted
+    graph for an untouched one.
     """
+    icfg.mark_all_dirty()
     if action == "drop-edge":
         sources = [nid for nid in sorted(icfg.nodes)
                    if icfg.succ_edges(nid)]

@@ -26,17 +26,21 @@ from repro.ir.nodes import Node
 class ICFGSnapshot:
     """A frozen structural copy of an ICFG at one point in time."""
 
-    __slots__ = ("main", "globals", "procs", "nodes", "succs", "ids")
+    __slots__ = ("main", "globals", "procs", "nodes", "succs", "ids",
+                 "generation", "proc_touched")
 
     def __init__(self, main: str, globals_: Dict, procs: Dict[str, ProcInfo],
                  nodes: Dict[int, Node], succs: Dict[int, List[Edge]],
-                 ids) -> None:
+                 ids, generation: int = 0,
+                 proc_touched: Optional[Dict[str, int]] = None) -> None:
         self.main = main
         self.globals = globals_
         self.procs = procs
         self.nodes = nodes
         self.succs = succs
         self.ids = ids
+        self.generation = generation
+        self.proc_touched = proc_touched if proc_touched is not None else {}
 
     @classmethod
     def take(cls, icfg: ICFG) -> "ICFGSnapshot":
@@ -48,7 +52,9 @@ class ICFGSnapshot:
             nodes={nid: node.copy_with_id(nid)
                    for nid, node in icfg.nodes.items()},
             succs={nid: list(edges) for nid, edges in icfg._succs.items()},
-            ids=icfg._ids.clone())
+            ids=icfg._ids.clone(),
+            generation=icfg.generation,
+            proc_touched=dict(icfg._proc_touched))
 
     @property
     def node_count(self) -> int:
@@ -79,4 +85,9 @@ class ICFGSnapshot:
         target._succs = succs
         target._preds = preds
         target._ids = self.ids.clone()
+        # Restore the mutation clock too: a rolled-back graph is the
+        # graph the snapshot saw, so analyses cached against that
+        # generation are valid again.
+        target.generation = self.generation
+        target._proc_touched = dict(self.proc_touched)
         return target

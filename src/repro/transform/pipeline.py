@@ -22,30 +22,36 @@ public contract of :meth:`ICBEOptimizer.optimize` is therefore total in
 non-strict mode: it always returns, the returned graph always passes
 :func:`~repro.ir.verify.verify_icfg`, and it is never half-mutated.
 Strict mode re-raises the first failure instead (for debugging).
+
+The run itself is structured as a pass pipeline (see
+:mod:`repro.transform.passes`): restructure → simplify → final
+validation, sharing one
+:class:`~repro.analysis.context.AnalysisContext` whose cached analyses
+are invalidated incrementally after each committed transaction.
+``OptimizerOptions.analysis_cache=False`` turns the shared context off
+and recovers the original per-conditional re-derivation, with
+guaranteed-identical outcomes.
 """
 
 from __future__ import annotations
 
 import time
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Set
+from typing import Dict, List, Optional
 
 from repro.analysis.config import AnalysisConfig
+from repro.analysis.context import AnalysisContext, CacheStats
 from repro.errors import DifferentialMismatch, ReproError
 from repro.interp.profile import Profile, RemappedProfile
 from repro.interp.workload import Workload
 from repro.ir.icfg import ICFG
-from repro.ir.simplify import simplify_nops
 from repro.ir.verify import verify_icfg
 from repro.robustness.diffcheck import DiffReport, differential_check
 from repro.robustness.faults import FaultPlan
-from repro.robustness.guards import ResourceGuard
 from repro.robustness.report import (DiagnosticsBundle, capture_bundle,
                                      write_bundle)
-from repro.robustness.runtime import checkpoint, robustness_context
 from repro.robustness.snapshot import ICFGSnapshot
-from repro.transform.restructure import (BranchOutcome, RestructureResult,
-                                         restructure_branch)
+from repro.transform.restructure import BranchOutcome, RestructureResult
 
 
 @dataclass
@@ -91,6 +97,14 @@ class OptimizerOptions:
     #: Spill a diagnostics bundle per failure into this directory
     #: (None = keep bundles in memory on the report only).
     diagnostics_dir: Optional[str] = None
+    #: Share one :class:`~repro.analysis.context.AnalysisContext` across
+    #: the run: cross-branch summary caching, memoized mod/ref and
+    #: call-graph/adjacency indices, generation-gated snapshot reuse and
+    #: dirty-procedure-scoped re-verification.  ``False``
+    #: (``--no-analysis-cache``) re-derives everything per conditional —
+    #: the original behaviour, kept as the A/B baseline; outcomes are
+    #: identical either way.
+    analysis_cache: bool = True
 
 
 @dataclass
@@ -121,6 +135,9 @@ class OptimizationReport:
     conditionals_before: int = 0
     conditionals_after: int = 0
     elapsed_seconds: float = 0.0
+    #: Analysis-context counters for the run (hits, misses,
+    #: invalidations, elided work); all zero when caching is off.
+    cache: CacheStats = field(default_factory=CacheStats)
 
     @property
     def optimized_count(self) -> int:
@@ -180,6 +197,9 @@ class ICBEOptimizer:
         back, recorded as a :class:`BranchRecord`, and attached to the
         report as a diagnostics bundle.
         """
+        from repro.transform.passes import PipelineState, \
+            build_default_pipeline
+
         started = time.perf_counter()
         opts = self.options
         current = icfg.clone()
@@ -189,88 +209,25 @@ class ICBEOptimizer:
             executable_before=icfg.executable_node_count(),
             conditionals_before=icfg.conditional_node_count())
 
-        done: Set[int] = set()
-        # copy id -> original id, composed across transformations, so
-        # the profile-guided benefit gate keeps working on copies.
-        origin: Dict[int, int] = {}
+        context = AnalysisContext(enabled=opts.analysis_cache)
+        context.bind(current)
         gate_profile = None
+        origin: Dict[int, int] = {}
         if opts.profile is not None:
             gate_profile = RemappedProfile(opts.profile, origin)
         growth_cap = None
         if opts.max_growth_factor is not None:
             growth_cap = int(icfg.node_count() * opts.max_growth_factor)
 
-        while True:
-            pending = [b.id for b in current.branch_nodes()
-                       if b.id not in done]
-            if not pending:
-                break
-            if growth_cap is not None and current.node_count() > growth_cap:
-                break
-            branch_id = pending[0]
-            done.add(branch_id)
-            snapshot = ICFGSnapshot.take(current)
-            guard = ResourceGuard(deadline_s=opts.deadline_s,
-                                  max_nodes=self._node_cap(snapshot))
-            diff: Optional[DiffReport] = None
-            try:
-                with guard, robustness_context(guard=guard,
-                                               plan=opts.fault_plan):
-                    checkpoint("pipeline:branch-start", current)
-                    result = restructure_branch(
-                        current, branch_id, opts.config,
-                        opts.duplication_limit,
-                        profile=gate_profile,
-                        min_benefit_per_node=opts.min_benefit_per_node)
-                    if result.applied and opts.diff_check:
-                        assert result.new_icfg is not None
-                        diff = self._diff(icfg, result.new_icfg)
-            except (KeyboardInterrupt, SystemExit):
-                raise
-            except Exception as failure:
-                if opts.strict:
-                    raise
-                current = snapshot.restore()
-                report.records.append(BranchRecord(
-                    branch_id=branch_id, outcome=BranchOutcome.FAILED,
-                    failure=f"{type(failure).__name__}: {failure}"))
-                self._diagnose(report, branch_id, "restructure",
-                               exc=failure, icfg=current)
-                continue
-
-            record = self._record(result)
-            adopted = False
-            if result.applied:
-                assert result.new_icfg is not None
-                if diff is not None and not diff.ok:
-                    if opts.strict:
-                        raise DifferentialMismatch(diff.describe())
-                    record.outcome = BranchOutcome.ROLLED_BACK
-                    record.failure = diff.describe()
-                    record.node_growth = 0
-                    self._diagnose(report, branch_id, "diff-check",
-                                   icfg=result.new_icfg, diff=diff)
-                else:
-                    current = result.new_icfg
-                    adopted = True
-                    for new_id, old_id in result.cloned_from.items():
-                        origin[new_id] = origin.get(old_id, old_id)
-                        if old_id in done:
-                            done.add(new_id)
-            if not adopted:
-                # Nothing was accepted, so the pre-transaction state is
-                # the truth.  Restoring it even on benign outcomes also
-                # heals any corruption of the *live* graph (an injected
-                # fault before restructuring cloned it) that the
-                # conditional's own verdict would otherwise smuggle
-                # forward into every later transaction.
-                current = snapshot.restore()
-            report.records.append(record)
-
-        current = self._simplify_phase(current, report)
-        current = self._final_validation(icfg, current, report)
+        state = PipelineState(optimizer=self, original=icfg, current=current,
+                              report=report, context=context, origin=origin,
+                              gate_profile=gate_profile,
+                              growth_cap=growth_cap)
+        state = build_default_pipeline().run(state)
+        current = state.current
 
         report.optimized = current
+        report.cache = context.stats
         report.nodes_after = current.node_count()
         report.executable_after = current.executable_node_count()
         report.conditionals_after = current.conditional_node_count()
@@ -278,27 +235,6 @@ class ICBEOptimizer:
         return report
 
     # -- transactional phases ------------------------------------------------
-
-    def _simplify_phase(self, current: ICFG,
-                        report: OptimizationReport) -> ICFG:
-        """End-of-run nop compaction, as its own transaction."""
-        opts = self.options
-        if not opts.simplify:
-            return current
-        snapshot = ICFGSnapshot.take(current)
-        try:
-            with robustness_context(plan=opts.fault_plan):
-                checkpoint("pipeline:simplify", current)
-                simplify_nops(current)
-                verify_icfg(current)
-        except (KeyboardInterrupt, SystemExit):
-            raise
-        except Exception as failure:
-            if opts.strict:
-                raise
-            current = snapshot.restore()
-            self._diagnose(report, -1, "simplify", exc=failure, icfg=current)
-        return current
 
     def _final_validation(self, original: ICFG, current: ICFG,
                           report: OptimizationReport) -> ICFG:

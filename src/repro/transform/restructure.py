@@ -75,8 +75,10 @@ def restructure_branch(icfg: ICFG, branch_id: int,
                        config: Optional[AnalysisConfig] = None,
                        duplication_limit: Optional[int] = None,
                        profile=None,
-                       min_benefit_per_node: Optional[float] = None
-                       ) -> RestructureResult:
+                       min_benefit_per_node: Optional[float] = None,
+                       precomputed: Optional[CorrelationResult] = None,
+                       incremental_verify: bool = False,
+                       in_place: bool = False) -> RestructureResult:
     """Try to eliminate one conditional along its correlated paths.
 
     ``duplication_limit`` is the paper's per-conditional gate: the
@@ -88,9 +90,26 @@ def restructure_branch(icfg: ICFG, branch_id: int,
     estimated eliminated dynamic branch executions to pay for the code
     growth — at least ``min_benefit_per_node`` eliminated executions
     per duplicated node.
+
+    ``precomputed`` hands in a finished analysis of ``icfg`` itself
+    (same node ids as the working clone) instead of re-analyzing; it
+    must be complete (not budget-truncated) and cache-independent —
+    the splitter walks every pair the engine visited, so an analysis
+    that short-circuited callees through a summary cache cannot drive
+    restructuring.  ``incremental_verify`` scopes the post-transform
+    verification to the procedures the transform actually dirtied
+    (sound because out-of-band corruption marks everything dirty).
+    ``in_place`` mutates ``icfg`` itself instead of a clone: the caller
+    must hold a snapshot and restore it on any non-OPTIMIZED outcome
+    (cloning preserves node ids, so in-place and cloned runs produce
+    identical graphs).
     """
-    working = icfg.clone()
-    analysis = analyze_branch(working, branch_id, config)
+    working = icfg if in_place else icfg.clone()
+    base_generation = working.generation
+    if precomputed is not None:
+        analysis = precomputed
+    else:
+        analysis = analyze_branch(working, branch_id, config)
     base = RestructureResult(branch_id=branch_id,
                              outcome=BranchOutcome.NOT_ANALYZABLE,
                              analysis=analysis,
@@ -122,7 +141,11 @@ def restructure_branch(icfg: ICFG, branch_id: int,
             working, outcome.branch_copies)
         working.remove_unreachable()
         checkpoint("transform:verify", working)
-        verify_icfg(working)
+        if incremental_verify:
+            verify_icfg(working,
+                        procs=working.dirty_procs_since(base_generation))
+        else:
+            verify_icfg(working)
     except (TransformError, VerificationError) as failure:
         base.outcome = BranchOutcome.TRANSFORM_FAILED
         base.failure = str(failure)

@@ -1,0 +1,174 @@
+"""The shared analysis context: interning, memoization, invalidation."""
+
+from tests.helpers import build
+
+from repro.analysis import AnalysisConfig, analyze_branch
+from repro.analysis.context import AnalysisContext
+from repro.analysis.facts import ValueSet
+from repro.analysis.query import Query
+from repro.ir.expr import VarId
+from repro.ir.nodes import NopNode
+
+CONFIG = AnalysisConfig(budget=100_000)
+
+SOURCE = """
+    global err = 0;
+    proc may_fail(v) {
+        if (v < 0) { err = 1; return 0; }
+        err = 0;
+        return v;
+    }
+    proc wrapper(v) {
+        return may_fail(v);
+    }
+    proc main() {
+        var a = wrapper(input());
+        if (err == 1) { print 1; }
+        var b = wrapper(input());
+        if (err == 1) { print 2; }
+        if (err == 0) { print 3; }
+    }
+"""
+
+
+def bound_context(icfg):
+    context = AnalysisContext()
+    context.bind(icfg)
+    return context
+
+
+def main_branches(icfg):
+    return [b.id for b in icfg.branch_nodes() if b.proc == "main"]
+
+
+def test_interning_returns_the_canonical_instance():
+    icfg = build(SOURCE)
+    context = bound_context(icfg)
+    a = Query(VarId(None, "err"), "==", 1)
+    b = Query(VarId(None, "err"), "==", 1)
+    assert a is not b
+    assert context.intern_query(a) is context.intern_query(b) is a
+    va = ValueSet.from_relop("==", 1)
+    assert (context.intern_value_set(va)
+            is context.intern_value_set(ValueSet.from_relop("==", 1)))
+
+
+def test_second_branch_hits_the_summary_cache():
+    icfg = build(SOURCE)
+    context = bound_context(icfg)
+    branches = main_branches(icfg)
+    first = analyze_branch(icfg, branches[0], CONFIG, context=context)
+    assert first.stats.summary_cache_hits == 0
+    assert context.summary_count() > 0
+    second = analyze_branch(icfg, branches[1], CONFIG, context=context)
+    assert second.stats.summary_cache_hits > 0
+    # And the cached run agrees exactly with a cache-free one.
+    fresh = analyze_branch(icfg, branches[1], CONFIG)
+    assert second.branch_answers == fresh.branch_answers
+
+
+def test_cached_analysis_examines_fewer_pairs():
+    icfg = build(SOURCE)
+    context = bound_context(icfg)
+    branches = main_branches(icfg)
+    analyze_branch(icfg, branches[0], CONFIG, context=context)
+    cached = analyze_branch(icfg, branches[1], CONFIG, context=context)
+    fresh = analyze_branch(icfg, branches[1], CONFIG)
+    assert cached.stats.pairs_examined < fresh.stats.pairs_examined
+
+
+def test_commit_with_clean_graph_invalidates_nothing():
+    icfg = build(SOURCE)
+    context = bound_context(icfg)
+    analyze_branch(icfg, main_branches(icfg)[0], CONFIG, context=context)
+    stored = context.summary_count()
+    context.commit(icfg)
+    assert context.summary_count() == stored
+    assert context.in_sync(icfg)
+
+
+def test_commit_invalidates_summaries_reaching_dirty_procs():
+    icfg = build(SOURCE)
+    context = bound_context(icfg)
+    analyze_branch(icfg, main_branches(icfg)[0], CONFIG, context=context)
+    assert context.summary_count() > 0
+    # Dirty the innermost callee: every summary's closure reaches it
+    # (wrapper -> may_fail), so everything is dropped.
+    icfg.add_node(NopNode(icfg.new_id(), "may_fail"))
+    context.commit(icfg)
+    assert context.summary_count() == 0
+    assert context.stats.summary_invalidated > 0
+    assert context.in_sync(icfg)
+
+
+def test_commit_keeps_summaries_of_untouched_closures():
+    icfg = build(SOURCE)
+    context = bound_context(icfg)
+    analyze_branch(icfg, main_branches(icfg)[0], CONFIG, context=context)
+    stored = context.summary_count()
+    assert stored > 0
+    # main is no summary's dependency (summaries live in callees).
+    icfg.add_node(NopNode(icfg.new_id(), "main"))
+    context.commit(icfg)
+    assert context.summary_count() == stored
+
+
+def test_preserved_summaries_survive_a_dirtying_commit():
+    icfg = build(SOURCE)
+    context = bound_context(icfg)
+    analyze_branch(icfg, main_branches(icfg)[0], CONFIG, context=context)
+    stored = context.summary_count()
+    icfg.add_node(NopNode(icfg.new_id(), "may_fail"))
+    context.commit(icfg, preserves=frozenset({AnalysisContext.SUMMARIES}))
+    assert context.summary_count() == stored
+
+
+def test_out_of_sync_context_stands_aside():
+    icfg = build(SOURCE)
+    context = bound_context(icfg)
+    analyze_branch(icfg, main_branches(icfg)[0], CONFIG, context=context)
+    icfg.add_node(NopNode(icfg.new_id(), "main"))  # no commit
+    assert not context.in_sync(icfg)
+    q = Query(VarId(None, "err"), "==", 1)
+    assert context.lookup_summary(icfg, "wrapper", 0, q) is None
+    # And an analysis given the stale context simply runs uncached.
+    result = analyze_branch(icfg, main_branches(icfg)[1], CONFIG,
+                            context=context)
+    assert result.stats.summary_cache_hits == 0
+
+
+def test_disabled_context_never_syncs():
+    icfg = build(SOURCE)
+    context = AnalysisContext(enabled=False)
+    context.bind(icfg)
+    assert not context.in_sync(icfg)
+
+
+def test_rollback_to_the_cached_generation_keeps_everything():
+    icfg = build(SOURCE)
+    context = bound_context(icfg)
+    analyze_branch(icfg, main_branches(icfg)[0], CONFIG, context=context)
+    stored = context.summary_count()
+    context.rollback(icfg)  # generation unchanged
+    assert context.summary_count() == stored
+    assert context.in_sync(icfg)
+
+
+def test_memoized_mod_sets_and_call_graph_count_reuses():
+    icfg = build(SOURCE)
+    context = bound_context(icfg)
+    first = context.mod_sets(icfg)
+    assert context.mod_sets(icfg) is first
+    graph = context.callees_of(icfg)
+    assert context.callees_of(icfg) is graph
+    assert "may_fail" in graph["wrapper"]
+    assert context.stats.modref_reuses >= 2
+
+
+def test_branch_index_is_cached_and_sorted():
+    icfg = build(SOURCE)
+    context = bound_context(icfg)
+    ids = context.branch_ids(icfg)
+    assert ids == sorted(b.id for b in icfg.branch_nodes())
+    assert context.branch_ids(icfg) is ids
+    assert context.stats.index_reuses == 1

@@ -1,0 +1,153 @@
+"""Generation counter and per-procedure dirty sets on the ICFG.
+
+Every mutator must bump the generation and mark the touched procedures,
+clones and snapshots must carry both, and a snapshot restore must put
+the generation back — that last property is what lets the optimizer's
+analysis context keep its caches across a rolled-back transaction.
+"""
+
+import pytest
+
+from repro.ir.expr import Const
+from repro.ir.icfg import EdgeKind, ICFG, ProcInfo
+from repro.ir.nodes import BranchNode, EntryNode, ExitNode, NopNode
+from repro.robustness.snapshot import ICFGSnapshot
+
+
+def two_proc_graph():
+    icfg = ICFG()
+    for name in ("main", "helper"):
+        icfg.add_proc(ProcInfo(name))
+        entry = icfg.add_node(EntryNode(icfg.new_id(), name))
+        exit_node = icfg.add_node(ExitNode(icfg.new_id(), name))
+        icfg.procs[name].entries.append(entry.id)
+        icfg.procs[name].exits.append(exit_node.id)
+        icfg.add_edge(entry.id, exit_node.id, EdgeKind.NORMAL)
+    return icfg
+
+
+def test_every_mutator_bumps_the_generation():
+    icfg = two_proc_graph()
+    seen = icfg.generation
+    node = icfg.add_node(NopNode(icfg.new_id(), "main"))
+    assert icfg.generation > seen
+    seen = icfg.generation
+    entry_id = icfg.procs["main"].entries[0]
+    edge = icfg.add_edge(entry_id, node.id, EdgeKind.NORMAL)
+    assert icfg.generation > seen
+    seen = icfg.generation
+    icfg.remove_edge(edge)
+    assert icfg.generation > seen
+    seen = icfg.generation
+    icfg.remove_node(node.id)
+    assert icfg.generation > seen
+    seen = icfg.generation
+    icfg.duplicate_node(icfg.nodes[icfg.procs["main"].exits[0]])
+    assert icfg.generation > seen
+    seen = icfg.generation
+    icfg.remove_unreachable()
+    assert icfg.generation > seen
+
+
+def test_dirty_sets_name_exactly_the_touched_procedures():
+    icfg = two_proc_graph()
+    base = icfg.generation
+    icfg.add_node(NopNode(icfg.new_id(), "helper"))
+    assert icfg.dirty_procs_since(base) == {"helper"}
+    assert icfg.dirty_procs_since(icfg.generation) == set()
+
+
+def test_cross_procedure_edge_dirties_both_endpoints():
+    icfg = two_proc_graph()
+    base = icfg.generation
+    icfg.add_edge(icfg.procs["main"].entries[0],
+                  icfg.procs["helper"].entries[0], EdgeKind.CALL)
+    assert icfg.dirty_procs_since(base) == {"main", "helper"}
+
+
+def test_mark_all_dirty_taints_every_procedure():
+    icfg = two_proc_graph()
+    base = icfg.generation
+    icfg.mark_all_dirty()
+    assert icfg.dirty_procs_since(base) == {"main", "helper"}
+
+
+def test_clone_carries_generation_and_dirty_sets():
+    icfg = two_proc_graph()
+    base = icfg.generation
+    icfg.add_node(NopNode(icfg.new_id(), "main"))
+    copy = icfg.clone()
+    assert copy.generation == icfg.generation
+    assert copy.dirty_procs_since(base) == icfg.dirty_procs_since(base)
+    # Divergent mutation after the clone stays divergent.
+    copy.add_node(NopNode(copy.new_id(), "helper"))
+    assert copy.generation > icfg.generation
+
+
+def test_snapshot_restore_restores_the_generation():
+    icfg = two_proc_graph()
+    snapshot = ICFGSnapshot.take(icfg)
+    taken_at = icfg.generation
+    icfg.add_node(NopNode(icfg.new_id(), "main"))
+    assert icfg.generation > taken_at
+    restored = snapshot.restore()
+    assert restored.generation == taken_at
+    assert restored.dirty_procs_since(taken_at) == set()
+
+
+def test_restore_after_rollback_leaves_cached_analyses_valid():
+    """The satellite regression: a rolled-back transaction must not
+    cost the analysis context its caches.  After restore, the context
+    bound to the pre-transaction generation is in sync again and its
+    stored summaries answer exactly as a fresh analysis would."""
+    from tests.helpers import build
+
+    from repro.analysis import AnalysisConfig, analyze_branch
+    from repro.analysis.context import AnalysisContext
+
+    icfg = build("""
+        global err = 0;
+        proc may_fail(v) {
+            if (v < 0) { err = 1; return 0; }
+            err = 0;
+            return v;
+        }
+        proc main() {
+            var a = may_fail(input());
+            if (err == 1) { print 1; }
+            var b = may_fail(input());
+            if (err == 1) { print 2; }
+        }
+    """)
+    config = AnalysisConfig(budget=100_000)
+    branches = [b.id for b in icfg.branch_nodes() if b.proc == "main"]
+    context = AnalysisContext()
+    context.bind(icfg)
+    analyze_branch(icfg, branches[0], config, context=context)
+    assert context.summary_count() > 0
+
+    # A transaction mutates the graph, then rolls back via snapshot.
+    snapshot = ICFGSnapshot.take(icfg)
+    doomed = icfg.add_node(NopNode(icfg.new_id(), "main"))
+    icfg.add_edge(icfg.procs["main"].entries[0], doomed.id, EdgeKind.CALL)
+    assert not context.in_sync(icfg)
+    restored = snapshot.restore()
+    context.rollback(restored)
+    assert context.in_sync(restored)
+    assert context.summary_count() > 0  # nothing was invalidated
+
+    # And the surviving cache still answers exactly: a cache-assisted
+    # re-analysis of a later branch agrees with a cache-free one.
+    with_cache = analyze_branch(restored, branches[1], config,
+                                context=context)
+    fresh = analyze_branch(restored, branches[1], config)
+    assert with_cache.stats.summary_cache_hits > 0
+    assert with_cache.has_correlation == fresh.has_correlation
+    assert with_cache.branch_answers == fresh.branch_answers
+
+
+def test_branch_node_alone_does_not_dirty_other_procs():
+    icfg = two_proc_graph()
+    base = icfg.generation
+    icfg.add_node(BranchNode(icfg.new_id(), "main", Const(1)))
+    assert icfg.dirty_procs_since(base) == {"main"}

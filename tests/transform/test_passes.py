@@ -1,0 +1,100 @@
+"""The pass-manager pipeline and its shared analysis context."""
+
+from tests.helpers import build
+
+from repro.analysis import AnalysisConfig
+from repro.analysis.context import AnalysisContext
+from repro.ir import dump_icfg, verify_icfg
+from repro.transform import ICBEOptimizer, OptimizerOptions
+from repro.transform.passes import (FinalValidatePass, PassManager,
+                                    RestructurePass, SimplifyPass,
+                                    build_default_pipeline)
+
+CONFIG = AnalysisConfig(budget=100_000)
+
+SOURCE = """
+    global err = 0;
+    proc may_fail(v) {
+        if (v < 0) { err = 1; return 0; }
+        err = 0;
+        return v;
+    }
+    proc main() {
+        var a = may_fail(input());
+        if (err == 1) { print 1; }
+        var b = may_fail(input());
+        if (err == 1) { print 2; }
+        if (err == 0) { print 3; }
+    }
+"""
+
+
+def run(icfg, **kwargs):
+    kwargs.setdefault("config", CONFIG)
+    return ICBEOptimizer(OptimizerOptions(**kwargs)).optimize(icfg)
+
+
+def test_default_pipeline_has_the_three_passes_in_order():
+    passes = build_default_pipeline().passes
+    assert [type(p) for p in passes] == [RestructurePass, SimplifyPass,
+                                         FinalValidatePass]
+
+
+def test_pass_preservation_declarations():
+    assert RestructurePass.preserves == frozenset()
+    assert SimplifyPass.preserves == frozenset(
+        {AnalysisContext.SUMMARIES, AnalysisContext.MODREF})
+    assert FinalValidatePass.preserves == AnalysisContext.ALL
+
+
+def test_cache_on_and_off_agree_exactly():
+    icfg = build(SOURCE)
+    cached = run(icfg, analysis_cache=True)
+    plain = run(icfg, analysis_cache=False)
+    assert ([(r.branch_id, r.outcome) for r in cached.records]
+            == [(r.branch_id, r.outcome) for r in plain.records])
+    assert dump_icfg(cached.optimized) == dump_icfg(plain.optimized)
+    verify_icfg(cached.optimized)
+
+
+def test_cached_run_reports_cache_activity():
+    icfg = build(SOURCE)
+    report = run(icfg, analysis_cache=True)
+    stats = report.cache
+    assert stats.commits >= report.optimized_count
+    assert stats.analyses_reused > 0
+    assert stats.summary_lookups == stats.summary_hits + stats.summary_misses
+    # Fruitless transactions never copy the graph back.
+    fruitless = len(report.records) - report.optimized_count
+    assert stats.restores_elided == fruitless
+
+
+def test_uncached_run_reports_zero_cache_activity():
+    icfg = build(SOURCE)
+    report = run(icfg, analysis_cache=False)
+    stats = report.cache
+    assert stats.summary_lookups == 0
+    assert stats.analyses_reused == 0
+    assert stats.snapshot_reuses == 0
+    assert stats.restores_elided == 0
+
+
+def test_input_graph_is_never_mutated_despite_in_place_transactions():
+    icfg = build(SOURCE)
+    pristine = dump_icfg(icfg)
+    generation = icfg.generation
+    run(icfg, analysis_cache=True)
+    assert dump_icfg(icfg) == pristine
+    assert icfg.generation == generation
+
+
+def test_simplify_commit_preserves_summaries():
+    """Nop compaction's commit must not cost the summary cache (it
+    declares SUMMARIES preserved), even though it dirties procedures."""
+    icfg = build(SOURCE)
+    report = run(icfg, analysis_cache=True, duplication_limit=0)
+    # With splitting gated off entirely, nothing dirties the graph
+    # before simplify, and simplify's own commit preserves summaries:
+    # no summary is ever invalidated across the run.
+    assert report.cache.summary_invalidated == 0
+    assert report.optimized_count == 0
