@@ -1,0 +1,120 @@
+"""Batch-supervisor chaos drill at suite scale.
+
+Runs the six-benchmark suite at scale 8 through ``icbe batch`` with all
+three process-level pathologies injected at tier 0 — a hang (killed on
+timeout), a hard crash, and an OOM under the worker's address-space
+rlimit — and asserts the supervisor contract end to end:
+
+- every job terminates with a definite outcome (OK/DEGRADED/FAILED);
+- chaos costs exactly one tier: each injected job lands DEGRADED at
+  tier 1 ("no job downgrades more than one tier beyond necessity"),
+  clean jobs stay OK at tier 0;
+- an interrupted run (journal truncated mid-batch, as a SIGKILL would
+  leave it) finished with ``--resume`` produces a journal and report
+  **byte-identical** to the uninterrupted run.
+
+Run:  pytest benchmarks/bench_supervisor.py --benchmark-only -s
+"""
+
+import os
+import shutil
+import tempfile
+
+from repro.benchgen.suite import benchmark_names
+from repro.robustness.degrade import STATUS_DEGRADED, STATUS_OK
+from repro.robustness.supervisor import (REPORT_NAME, SupervisorOptions,
+                                         run_batch)
+from repro.utils.tables import render_table
+
+SCALE = 8
+SEED = 2026
+#: Above the slowest clean job (perl_like, ~45s at scale 8) with margin;
+#: the injected hang burns exactly one timeout, overlapped by --jobs.
+TIMEOUT_S = 120.0
+
+INJECTIONS = {
+    "go_like": {"kind": "hang", "tiers": [0]},
+    "m88ksim_like": {"kind": "crash", "tiers": [0]},
+    "compress_like": {"kind": "oom", "tiers": [0]},
+}
+EXPECTED_FIRST_RESULT = {"go_like": "timeout", "m88ksim_like": "crash",
+                         "compress_like": "oom"}
+
+
+def _options():
+    return SupervisorOptions(jobs=4, timeout_s=TIMEOUT_S, memory_mb=768,
+                             seed=SEED, duplication_limit=100,
+                             backoff_base_s=0.05)
+
+
+def _read(run_dir, name):
+    with open(os.path.join(run_dir, name), "rb") as handle:
+        return handle.read()
+
+
+def _truncate_journal(src_dir, dst_dir, keep_jobs):
+    """Plant ``dst_dir`` with ``src_dir``'s journal cut after
+    ``keep_jobs`` job records — the on-disk state a SIGKILL mid-batch
+    leaves behind (plus a torn final line for good measure)."""
+    os.makedirs(dst_dir, exist_ok=True)
+    with open(os.path.join(src_dir, "journal.jsonl"), "rb") as handle:
+        lines = handle.read().splitlines(keepends=True)
+    kept = lines[:1 + keep_jobs]
+    torn = lines[1 + keep_jobs][:23] if len(lines) > 1 + keep_jobs else b""
+    with open(os.path.join(dst_dir, "journal.jsonl"), "wb") as handle:
+        handle.write(b"".join(kept) + torn)
+
+
+def chaos_drill():
+    sources = [f"suite:{name}@{SCALE}" for name in benchmark_names()]
+    scratch = tempfile.mkdtemp(prefix="icbe-bench-supervisor-")
+    try:
+        full_dir = os.path.join(scratch, "full")
+        report = run_batch(sources, full_dir, options=_options(),
+                           injections=INJECTIONS)
+
+        assert len(report.outcomes) == len(sources)
+        assert report.all_definite, [o.describe() for o in report.outcomes]
+        for outcome in report.outcomes:
+            if outcome.job in INJECTIONS:
+                assert outcome.status == STATUS_DEGRADED, outcome.describe()
+                assert outcome.tier == 1, outcome.describe()
+                assert (outcome.attempts[0].result
+                        == EXPECTED_FIRST_RESULT[outcome.job]), (
+                    outcome.describe())
+            else:
+                assert outcome.status == STATUS_OK, outcome.describe()
+                assert outcome.tier == 0
+        assert report.total_kills == 1  # the hang, nothing else
+
+        # Interrupted + --resume == uninterrupted, byte for byte.  The
+        # cut keeps the two chaos-heavy jobs so the resume replays the
+        # OOM job and the clean tail.
+        cut_dir = os.path.join(scratch, "cut")
+        _truncate_journal(full_dir, cut_dir, keep_jobs=2)
+        resumed = run_batch(sources, cut_dir, options=_options(),
+                            injections=INJECTIONS, resume=True)
+        assert resumed.resumed_jobs == 2
+        assert (_read(full_dir, "journal.jsonl")
+                == _read(cut_dir, "journal.jsonl")), "journal diverged"
+        assert (_read(full_dir, REPORT_NAME)
+                == _read(cut_dir, REPORT_NAME)), "report diverged"
+
+        return report
+    finally:
+        shutil.rmtree(scratch, ignore_errors=True)
+
+
+def test_supervisor_chaos_drill(benchmark):
+    report = benchmark.pedantic(chaos_drill, rounds=1, iterations=1)
+    rows = [[o.job, o.status, f"{o.tier}/{o.tier_name}",
+             len(o.attempts), o.attempts[0].result]
+            for o in report.outcomes]
+    print()
+    print(render_table(
+        ["benchmark (x%d)" % SCALE, "status", "tier", "attempts",
+         "first attempt"], rows,
+        title="Batch supervisor under hang/crash/OOM injection"))
+    statuses = report.status_counts()
+    assert statuses[STATUS_OK] == 3 and statuses[STATUS_DEGRADED] == 3
+    assert report.total_retries == 3  # one per injected pathology

@@ -1,0 +1,136 @@
+"""CI gate: SIGKILL the batch supervisor mid-run, resume, compare.
+
+Runs the six-benchmark suite at scale 2 through ``icbe batch`` (fixed
+seed, one injected worker crash so the degradation ladder is exercised
+in CI), SIGKILLs the *supervisor process itself* once two jobs are in
+the journal, finishes the batch with ``--resume``, and fails the build
+if:
+
+- any job lacks a definite OK/DEGRADED/FAILED outcome, or
+- the resumed run's journal or report diverges by a single byte from an
+  uninterrupted run with the same seed.
+
+Run:  PYTHONPATH=src python benchmarks/ci_chaos_batch.py
+"""
+
+import os
+import signal
+import subprocess
+import sys
+import tempfile
+import time
+
+from repro.robustness.journal import Journal, load_outcomes
+from repro.robustness.supervisor import REPORT_NAME
+
+SCALE = 2
+SEED = 97
+KILL_AFTER_JOBS = 2          # SIGKILL once this many jobs are journaled
+KILL_DEADLINE_S = 600.0
+
+SUITE = ["go_like", "m88ksim_like", "compress_like", "li_like",
+         "perl_like", "icc_like"]
+
+
+def batch_argv(run_dir, resume=False):
+    argv = [sys.executable, "-m", "repro.cli", "batch"]
+    if resume:
+        argv += ["--resume", run_dir]
+    else:
+        argv += [f"suite:{name}@{SCALE}" for name in SUITE]
+        argv += ["--run-dir", run_dir, "--seed", str(SEED),
+                 "--inject", "crash:li_like"]
+    return argv
+
+
+def journaled_jobs(run_dir):
+    path = os.path.join(run_dir, "journal.jsonl")
+    if not os.path.exists(path):
+        return 0
+    with open(path, "rb") as handle:
+        return sum(1 for line in handle if b'"type":"job"' in line)
+
+
+def run_to_completion(run_dir, resume=False):
+    completed = subprocess.run(batch_argv(run_dir, resume=resume),
+                               stdout=subprocess.PIPE,
+                               stderr=subprocess.STDOUT)
+    sys.stdout.buffer.write(completed.stdout)
+    if completed.returncode != 0:
+        raise SystemExit(f"batch exited {completed.returncode}")
+
+
+def run_and_sigkill(run_dir):
+    """Start a batch and SIGKILL the supervisor once the journal shows
+    KILL_AFTER_JOBS completed jobs; returns how many it had."""
+    process = subprocess.Popen(batch_argv(run_dir),
+                               stdout=subprocess.DEVNULL,
+                               stderr=subprocess.DEVNULL)
+    deadline = time.monotonic() + KILL_DEADLINE_S
+    try:
+        while time.monotonic() < deadline:
+            if process.poll() is not None:
+                raise SystemExit(
+                    "batch finished before the chaos kill fired; "
+                    "lower KILL_AFTER_JOBS")
+            if journaled_jobs(run_dir) >= KILL_AFTER_JOBS:
+                process.send_signal(signal.SIGKILL)
+                process.wait(30.0)
+                return journaled_jobs(run_dir)
+            time.sleep(0.05)
+    finally:
+        if process.poll() is None:
+            process.kill()
+            process.wait(30.0)
+    raise SystemExit("journal never reached the kill point")
+
+
+def read(run_dir, name):
+    with open(os.path.join(run_dir, name), "rb") as handle:
+        return handle.read()
+
+
+def main():
+    with tempfile.TemporaryDirectory(prefix="icbe-ci-chaos-") as scratch:
+        full_dir = os.path.join(scratch, "full")
+        cut_dir = os.path.join(scratch, "cut")
+
+        print(f"== uninterrupted run (seed {SEED}, scale {SCALE})")
+        run_to_completion(full_dir)
+
+        print(f"\n== chaos run: SIGKILL supervisor after "
+              f"{KILL_AFTER_JOBS} journaled jobs, then --resume")
+        survived = run_and_sigkill(cut_dir)
+        print(f"killed supervisor with {survived} jobs journaled "
+              f"(torn tail: {Journal.recover(cut_dir).torn_tail})")
+        run_to_completion(cut_dir, resume=True)
+
+        failures = []
+        outcomes = load_outcomes(full_dir)
+        if len(outcomes) != len(SUITE):
+            failures.append(f"expected {len(SUITE)} outcomes, "
+                            f"got {len(outcomes)}")
+        for outcome in outcomes:
+            if not outcome.definite:
+                failures.append(f"indefinite outcome: {outcome.describe()}")
+        degraded = [o for o in outcomes if o.job == "li_like"]
+        if not degraded or degraded[0].status != "DEGRADED":
+            failures.append("injected crash on li_like did not exercise "
+                            "the degradation ladder")
+        if read(full_dir, "journal.jsonl") != read(cut_dir, "journal.jsonl"):
+            failures.append("resumed journal diverges from the "
+                            "uninterrupted run")
+        if read(full_dir, REPORT_NAME) != read(cut_dir, REPORT_NAME):
+            failures.append("resumed report diverges from the "
+                            "uninterrupted run")
+
+        for failure in failures:
+            print(f"FAIL: {failure}", file=sys.stderr)
+        if failures:
+            return 1
+        print("\nresume is byte-identical; all outcomes definite: ok")
+        return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

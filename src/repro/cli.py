@@ -8,7 +8,12 @@ Subcommands::
     icbe optimize <file.mc> [options]         run ICBE and report
     icbe predict <file.mc> [--intra]          static prediction hints
     icbe inline <file.mc> [options]           exhaustive pre-pass inlining
+    icbe batch <job>... [--jobs N] [--resume DIR]  crash-isolated batch runs
     icbe experiment <name>                    run a paper experiment
+
+Frontend, semantic, and IO errors exit with code 2 and a one-line
+diagnostic on stderr — never a traceback (``--traceback`` re-enables
+the stack for debugging).
 """
 
 from __future__ import annotations
@@ -151,6 +156,58 @@ def cmd_inline(args: argparse.Namespace) -> int:
     return 0
 
 
+def _parse_injections(specs) -> dict:
+    """``--inject KIND:JOB[:TIERS]`` options -> {job name: inject dict}."""
+    from repro.errors import SupervisorError
+    injections = {}
+    for text in specs or ():
+        parts = text.split(":")
+        if len(parts) < 2 or parts[0] not in ("hang", "crash", "oom"):
+            raise SupervisorError(
+                f"bad --inject spec {text!r} "
+                f"(expected hang|crash|oom:JOB[:TIERS])", spec=text)
+        tiers = ([int(t) for t in parts[2].split(",")]
+                 if len(parts) > 2 else [0])
+        injections[parts[1]] = {"kind": parts[0], "tiers": tiers}
+    return injections
+
+
+def cmd_batch(args: argparse.Namespace) -> int:
+    """``icbe batch``: supervised, crash-isolated batch optimization."""
+    from repro.robustness.supervisor import (BatchSupervisor, JobSpec,
+                                             SupervisorOptions)
+
+    injections = _parse_injections(args.inject)
+    specs = []
+    for source in args.files:
+        spec = JobSpec(source)
+        if spec.name in injections:
+            spec.inject = injections[spec.name]
+        specs.append(spec)
+    run_dir = args.resume if args.resume else args.run_dir
+    options = SupervisorOptions(
+        jobs=args.jobs, timeout_s=args.timeout, memory_mb=args.memory_mb,
+        seed=args.seed, budget=args.budget, duplication_limit=args.limit,
+        diff_check=not args.no_diff_check,
+        backoff_base_s=args.backoff, breaker_threshold=args.breaker)
+    supervisor = BatchSupervisor(specs, run_dir, options=options,
+                                 resume=args.resume is not None)
+    report = supervisor.run()
+    for outcome in report.outcomes:
+        print(outcome.describe())
+    tiers = report.tier_counts()
+    statuses = report.status_counts()
+    print("-- tiers: " + "  ".join(f"{k}={v}" for k, v in tiers.items()))
+    print(f"-- {statuses['OK']} ok, {statuses['DEGRADED']} degraded, "
+          f"{statuses['FAILED']} failed; {report.total_retries} retries, "
+          f"{report.total_kills} kills"
+          + (f"; resumed {report.resumed_jobs} from journal"
+             if report.resumed_jobs else ""))
+    print(f"-- journal: {supervisor.journal.path}  "
+          f"wall: {report.wall_s:.2f}s", file=sys.stderr)
+    return 1 if report.failed_jobs else 0
+
+
 def cmd_experiment(args: argparse.Namespace) -> int:
     """``icbe experiment``: run one paper experiment."""
     from repro.harness.__main__ import main as harness_main
@@ -236,17 +293,82 @@ def build_parser() -> argparse.ArgumentParser:
                           help="dump the inlined ICFG")
     inline_p.set_defaults(func=cmd_inline)
 
+    batch_p = sub.add_parser(
+        "batch", help="optimize many programs under the crash-isolated "
+                      "batch supervisor (checkpoint/resume, degradation "
+                      "ladder; see docs/ROBUSTNESS.md)")
+    batch_p.add_argument("files", nargs="*", metavar="JOB",
+                         help="MiniC files, or suite:<name>[@scale] "
+                              "benchmark references; may be empty with "
+                              "--resume (jobs come from the journal)")
+    batch_p.add_argument("--jobs", type=int, default=1, metavar="N",
+                         help="parallel worker subprocesses")
+    batch_p.add_argument("--resume", default=None, metavar="DIR",
+                         help="resume an interrupted run from DIR's "
+                              "journal, skipping completed jobs")
+    batch_p.add_argument("--run-dir", default="icbe-batch", metavar="DIR",
+                         help="directory for the journal, report, and "
+                              "worker scratch (default: ./icbe-batch)")
+    batch_p.add_argument("--seed", type=int, default=0,
+                         help="the single seed every randomized component "
+                              "(backoff jitter, differential workloads, "
+                              "chaos points) derives from")
+    batch_p.add_argument("--timeout", type=float, default=60.0, metavar="S",
+                         help="per-attempt wall-clock timeout; hung "
+                              "workers are killed")
+    batch_p.add_argument("--memory-mb", type=int, default=512, metavar="MB",
+                         help="per-worker address-space cap "
+                              "(resource.setrlimit)")
+    batch_p.add_argument("--budget", type=int, default=1000,
+                         help="node-query-pair analysis budget")
+    batch_p.add_argument("--limit", type=int, default=100,
+                         help="per-conditional duplication limit")
+    batch_p.add_argument("--backoff", type=float, default=0.05, metavar="S",
+                         help="base retry backoff (grows exponentially, "
+                              "seeded jitter)")
+    batch_p.add_argument("--breaker", type=int, default=5, metavar="K",
+                         help="open a job class's circuit breaker after K "
+                              "consecutive hard worker deaths")
+    batch_p.add_argument("--no-diff-check", action="store_true",
+                         help="skip per-job differential validation")
+    batch_p.add_argument("--inject", action="append", metavar="SPEC",
+                         help="chaos drill: hang|crash|oom:JOB[:TIERS] "
+                              "(repeatable; deterministic given --seed)")
+    batch_p.set_defaults(func=cmd_batch)
+
     exp_p = sub.add_parser("experiment", help="run a paper experiment")
     exp_p.add_argument("name",
                        help="table1|table2|fig9|fig10|fig11|headline|all")
     exp_p.set_defaults(func=cmd_experiment)
+
+    parser.add_argument("--traceback", action="store_true",
+                        help="debugging: re-raise errors instead of the "
+                             "one-line exit-code-2 diagnostic")
     return parser
 
 
 def main(argv: Optional[List[str]] = None) -> int:
-    """Entry point for the ``icbe`` executable."""
+    """Entry point for the ``icbe`` executable.
+
+    Operator errors — bad source programs, missing files, unusable run
+    directories — exit with code 2 and a single diagnostic line on
+    stderr (plus the exception's structured context, if any), never a
+    traceback.  Internal bugs still raise so they stay loud.
+    """
+    from repro.errors import ReproError, error_context
+
     args = build_parser().parse_args(argv)
-    return args.func(args)
+    try:
+        return args.func(args)
+    except (ReproError, OSError) as failure:
+        if getattr(args, "traceback", False):
+            raise
+        print(f"icbe: error: {failure}", file=sys.stderr)
+        context = error_context(failure)
+        if context:
+            detail = ", ".join(f"{k}={v}" for k, v in sorted(context.items()))
+            print(f"icbe: context: {detail}", file=sys.stderr)
+        return 2
 
 
 if __name__ == "__main__":

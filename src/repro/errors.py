@@ -3,20 +3,58 @@
 Every layer of the system raises a subclass of :class:`ReproError`, so
 callers can catch a single exception type at the API boundary while tests
 can assert on precise failure categories.
+
+Every :class:`ReproError` carries a structured ``context`` dict — machine
+readable key/value detail (positions, procedure names, budgets, tiers)
+that diagnostics bundles and the batch supervisor's journal serialize
+verbatim, so a production failure is queryable data rather than a string
+to regex.  Subclasses populate it from their own constructors; ad-hoc
+keys can be passed to any constructor as keyword arguments.
 """
 
 from __future__ import annotations
 
+from typing import Any, Dict
+
 
 class ReproError(Exception):
-    """Base class for all errors raised by this package."""
+    """Base class for all errors raised by this package.
+
+    ``context`` holds structured detail about the failure.  It is always
+    a plain dict of JSON-serializable values (enforced only by
+    convention; :func:`error_context` sanitizes on the way out).
+    """
+
+    def __init__(self, message: str = "", **context: Any) -> None:
+        super().__init__(message)
+        self.context: Dict[str, Any] = dict(context)
+
+
+def error_context(exc: BaseException) -> Dict[str, Any]:
+    """The structured context of ``exc``, JSON-sanitized, best-effort.
+
+    Non-Repro exceptions yield an empty dict; values that do not
+    round-trip through ``str`` cheaply are stringified so a corrupt
+    context never breaks diagnostics serialization.
+    """
+    raw = getattr(exc, "context", None)
+    if not isinstance(raw, dict):
+        return {}
+    safe: Dict[str, Any] = {}
+    for key, value in raw.items():
+        if isinstance(value, (str, int, float, bool, type(None))):
+            safe[str(key)] = value
+        else:
+            safe[str(key)] = repr(value)
+    return safe
 
 
 class LexError(ReproError):
     """A malformed token was encountered while scanning MiniC source."""
 
     def __init__(self, message: str, line: int, column: int) -> None:
-        super().__init__(f"{line}:{column}: {message}")
+        super().__init__(f"{line}:{column}: {message}",
+                         line=line, column=column)
         self.line = line
         self.column = column
 
@@ -25,7 +63,8 @@ class ParseError(ReproError):
     """The token stream does not form a valid MiniC program."""
 
     def __init__(self, message: str, line: int, column: int) -> None:
-        super().__init__(f"{line}:{column}: {message}")
+        super().__init__(f"{line}:{column}: {message}",
+                         line=line, column=column)
         self.line = line
         self.column = column
 
@@ -80,4 +119,14 @@ class DifferentialMismatch(ReproError):
 
     Raised by strict-mode differential validation; non-strict mode rolls
     the offending transform back and records diagnostics instead.
+    """
+
+
+class SupervisorError(ReproError):
+    """The batch supervisor could not run or resume a batch.
+
+    Raised for operator-level problems — a resume directory whose
+    journal belongs to a different batch or seed, an unreadable run
+    directory — never for per-job failures, which become structured
+    ``FAILED`` outcomes instead.
     """

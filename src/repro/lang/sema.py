@@ -50,7 +50,8 @@ class _ProcChecker:
         self.declared_locals: Set[str] = set()
 
     def fail(self, message: str, line: int) -> None:
-        raise SemanticError(f"{self.proc.name}: line {line}: {message}")
+        raise SemanticError(f"{self.proc.name}: line {line}: {message}",
+                            proc=self.proc.name, line=line)
 
     def check(self) -> None:
         seen_params: Set[str] = set()

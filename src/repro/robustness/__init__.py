@@ -21,23 +21,32 @@ whole-program optimizer crash-proof and self-validating:
 See docs/ROBUSTNESS.md for the transaction model and the knobs.
 """
 
+from repro.robustness.degrade import (Attempt, JobOutcome, LADDER, Tier,
+                                      tier_names)
 from repro.robustness.diffcheck import (DiffMismatch, DiffReport,
                                         differential_check,
                                         require_equivalent,
                                         seeded_workloads)
 from repro.robustness.faults import (CORRUPTION_ACTIONS, FaultPlan,
                                      FaultSpec, FiredFault, corrupt_icfg)
-from repro.robustness.guards import ResourceGuard
+from repro.robustness.guards import DeadlineGuard, ResourceGuard
+from repro.robustness.journal import Journal, load_outcomes
 from repro.robustness.report import (DiagnosticsBundle, capture_bundle,
                                      write_bundle)
 from repro.robustness.runtime import (active_context, checkpoint,
                                       robustness_context)
 from repro.robustness.snapshot import ICFGSnapshot
+from repro.robustness.supervisor import (BatchReport, BatchSupervisor,
+                                         JobSpec, SupervisorOptions,
+                                         run_batch)
 
 __all__ = [
-    "CORRUPTION_ACTIONS", "DiagnosticsBundle", "DiffMismatch", "DiffReport",
-    "FaultPlan", "FaultSpec", "FiredFault", "ICFGSnapshot", "ResourceGuard",
-    "active_context", "capture_bundle", "checkpoint", "corrupt_icfg",
-    "differential_check", "require_equivalent", "robustness_context",
-    "seeded_workloads", "write_bundle",
+    "Attempt", "BatchReport", "BatchSupervisor", "CORRUPTION_ACTIONS",
+    "DeadlineGuard", "DiagnosticsBundle", "DiffMismatch", "DiffReport",
+    "FaultPlan", "FaultSpec", "FiredFault", "ICFGSnapshot", "JobOutcome",
+    "JobSpec", "Journal", "LADDER", "ResourceGuard", "SupervisorOptions",
+    "Tier", "active_context", "capture_bundle", "checkpoint", "corrupt_icfg",
+    "differential_check", "load_outcomes", "require_equivalent",
+    "robustness_context", "run_batch", "seeded_workloads", "tier_names",
+    "write_bundle",
 ]

@@ -1,0 +1,219 @@
+"""The graceful-degradation ladder for batch optimization jobs.
+
+A job that cannot complete under the full optimizer does not take the
+batch down and does not simply vanish: it descends the ladder one tier
+per failure until it lands on a tier that terminates, and its outcome
+records exactly how far it fell and why.  The tiers, strongest first:
+
+====  ================  ===================================================
+tier  name              what still runs
+====  ================  ===================================================
+0     full              interprocedural ICBE, shared analysis context
+1     no-cache          interprocedural ICBE, per-conditional re-derivation
+                        (the ``--no-analysis-cache`` A/B baseline — rules
+                        out cache machinery as the failure source)
+2     intra             intraprocedural-only elimination (Mueller &
+                        Whalley's safe subset: no cross-call queries, so
+                        the demand-driven engine's input-dependent cost
+                        disappears)
+3     parse-through     no optimization at all: parse, lower, verify,
+                        emit the program unchanged (always semantically
+                        correct by construction)
+====  ================  ===================================================
+
+Every tier's output must still pass :func:`~repro.ir.verify.verify_icfg`
+and (when enabled) differential validation — degradation trades
+*optimization strength*, never correctness.
+
+The ladder descends exactly one tier per failed attempt ("no job
+downgrades more than one tier beyond necessity"); the supervisor's
+circuit breaker (see :mod:`~repro.robustness.supervisor`) is the only
+thing that short-circuits it.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional, Tuple
+
+
+@dataclass(frozen=True)
+class Tier:
+    """One rung of the ladder."""
+
+    index: int
+    name: str
+    #: False for parse-through: the optimizer is not invoked at all.
+    optimize: bool = True
+    #: Share the cross-conditional analysis context?
+    analysis_cache: bool = True
+    #: Ask interprocedural questions at all?
+    interprocedural: bool = True
+
+    def options(self, budget: int = 1000,
+                duplication_limit: Optional[int] = None,
+                deadline_s: Optional[float] = None,
+                diff_check: bool = False,
+                diff_seed: int = 0,
+                fault_plan=None):
+        """The :class:`~repro.transform.pipeline.OptimizerOptions` this
+        tier runs under.
+
+        Raises :class:`ValueError` for the parse-through tier, which by
+        definition has no optimizer run to configure.  (The transform
+        import is deferred: ``repro.transform`` itself imports
+        robustness modules, and this module is part of the robustness
+        package's public surface.)
+        """
+        from repro.analysis.config import AnalysisConfig
+        from repro.transform.pipeline import OptimizerOptions
+
+        if not self.optimize:
+            raise ValueError(f"tier {self.name!r} does not run the optimizer")
+        return OptimizerOptions(
+            config=AnalysisConfig(interprocedural=self.interprocedural,
+                                  budget=budget),
+            duplication_limit=duplication_limit,
+            deadline_s=deadline_s,
+            diff_check=diff_check,
+            diff_seed=diff_seed,
+            fault_plan=fault_plan,
+            analysis_cache=self.analysis_cache,
+            tier=self.index,
+            tier_name=self.name)
+
+
+#: The ladder, strongest tier first.  Index i is always LADDER[i].
+LADDER: Tuple[Tier, ...] = (
+    Tier(0, "full"),
+    Tier(1, "no-cache", analysis_cache=False),
+    Tier(2, "intra", analysis_cache=False, interprocedural=False),
+    Tier(3, "parse-through", optimize=False),
+)
+
+#: The weakest (always-terminating) tier's index.
+FLOOR_TIER = LADDER[-1].index
+
+
+def tier(index: int) -> Tier:
+    """The ladder rung at ``index`` (clamped into range)."""
+    return LADDER[max(0, min(index, len(LADDER) - 1))]
+
+
+def tier_names() -> Tuple[str, ...]:
+    """Ladder tier names, strongest first."""
+    return tuple(t.name for t in LADDER)
+
+
+# ---------------------------------------------------------------------------
+# Job outcomes.
+# ---------------------------------------------------------------------------
+
+#: The three definite job statuses.  Every job the supervisor accepts
+#: terminates in exactly one of these; there is no fourth state.
+STATUS_OK = "OK"
+STATUS_DEGRADED = "DEGRADED"
+STATUS_FAILED = "FAILED"
+
+
+@dataclass
+class Attempt:
+    """One try of one job at one tier."""
+
+    tier: int
+    tier_name: str
+    #: ok | timeout | killed | oom | crash | error | verify-fail |
+    #: diff-mismatch | circuit-open | no-result
+    result: str
+    detail: str = ""
+    #: Backoff applied *before* this attempt, in seconds (deterministic
+    #: given the batch seed; recorded so journals are self-describing).
+    backoff_s: float = 0.0
+
+    def to_json(self) -> dict:
+        return {"tier": self.tier, "tier_name": self.tier_name,
+                "result": self.result, "detail": self.detail,
+                "backoff_s": round(self.backoff_s, 6)}
+
+    @classmethod
+    def from_json(cls, data: dict) -> "Attempt":
+        return cls(tier=data["tier"], tier_name=data["tier_name"],
+                   result=data["result"], detail=data.get("detail", ""),
+                   backoff_s=data.get("backoff_s", 0.0))
+
+
+#: Attempt results that mean the worker *process* died rather than
+#: reporting a structured failure — these feed the circuit breaker.
+HARD_RESULTS = frozenset({"timeout", "killed", "oom", "crash", "no-result"})
+
+#: Structured error kinds no amount of degradation can fix: the input
+#: itself is invalid, so the ladder is skipped and the job fails fast.
+NON_RETRYABLE_ERRORS = frozenset({"LexError", "ParseError", "SemanticError",
+                                  "LoweringError", "SupervisorError",
+                                  "FileNotFoundError", "IsADirectoryError",
+                                  "PermissionError"})
+
+
+@dataclass
+class JobOutcome:
+    """The definite, structured verdict on one batch job.
+
+    ``status`` is one of :data:`STATUS_OK` (succeeded at tier 0),
+    :data:`STATUS_DEGRADED` (succeeded at a lower tier; ``tier`` and
+    ``reason`` say where and why) or :data:`STATUS_FAILED` (no tier
+    succeeded; ``reason`` is the last failure).
+    """
+
+    job: str
+    status: str
+    tier: int
+    tier_name: str
+    reason: str = ""
+    attempts: Tuple[Attempt, ...] = ()
+    #: Deterministic result counters from the successful attempt
+    #: (empty for FAILED): optimized/conditionals/nodes counts.
+    counts: dict = None  # type: ignore[assignment]
+
+    def __post_init__(self) -> None:
+        if self.counts is None:
+            self.counts = {}
+
+    @property
+    def definite(self) -> bool:
+        """Every outcome the supervisor emits must satisfy this."""
+        return self.status in (STATUS_OK, STATUS_DEGRADED, STATUS_FAILED)
+
+    @property
+    def retries(self) -> int:
+        return max(0, len(self.attempts) - 1)
+
+    @property
+    def kills(self) -> int:
+        """Attempts that ended with the supervisor killing the worker."""
+        return sum(1 for a in self.attempts
+                   if a.result in ("timeout", "killed"))
+
+    def describe(self) -> str:
+        line = f"{self.job}: {self.status}"
+        if self.status == STATUS_DEGRADED:
+            line += f"(tier={self.tier}/{self.tier_name}, reason={self.reason})"
+        elif self.status == STATUS_FAILED:
+            line += f" ({self.reason})"
+        if self.retries:
+            line += f" [{self.retries} retries]"
+        return line
+
+    def to_json(self) -> dict:
+        return {"job": self.job, "status": self.status, "tier": self.tier,
+                "tier_name": self.tier_name, "reason": self.reason,
+                "attempts": [a.to_json() for a in self.attempts],
+                "counts": dict(self.counts)}
+
+    @classmethod
+    def from_json(cls, data: dict) -> "JobOutcome":
+        return cls(job=data["job"], status=data["status"],
+                   tier=data["tier"], tier_name=data["tier_name"],
+                   reason=data.get("reason", ""),
+                   attempts=tuple(Attempt.from_json(a)
+                                  for a in data.get("attempts", ())),
+                   counts=dict(data.get("counts", {})))

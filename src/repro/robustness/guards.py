@@ -8,15 +8,100 @@ routes to :meth:`ResourceGuard.check`, which raises
 :class:`~repro.errors.ReproError` the transactional optimizer catches
 and converts into a per-conditional rollback.  Nothing hangs, nothing
 OOMs, and the remaining conditionals still get their turn.
+
+Timing discipline (audited): every deadline in this module is computed
+from ``time.monotonic()``, never ``time.time()``.  Wall-clock time can
+jump (NTP steps, suspend/resume), which would make a ``time.time()``
+deadline fire early, late, or never.  :class:`DeadlineGuard` is the one
+deadline implementation everything shares; it additionally survives the
+two clock pathologies a batch supervisor exposes it to:
+
+- **cross-process values** — monotonic clocks are only comparable
+  within one process, so a deadline is serialized as *remaining budget*
+  (:meth:`DeadlineGuard.to_wire`) and re-armed against the receiving
+  process's own clock, never as an absolute timestamp;
+- **non-monotonic injected clocks** — a clock that steps backwards
+  (tests inject these; a subprocess re-arming from a parent snapshot is
+  the production analogue) re-arms the origin instead of silently
+  extending the budget, so the guard can fire late by at most the step,
+  and never hangs forever.
 """
 
 from __future__ import annotations
 
 import time
-from typing import Callable, Optional
+from typing import Callable, Dict, Optional
 
 from repro.errors import BudgetExceeded
 from repro.ir.icfg import ICFG
+
+
+class DeadlineGuard:
+    """A monotonic wall-clock budget, safe to ship across processes.
+
+    ``budget_s`` is the allowed elapsed time from :meth:`start`.
+    ``clock`` is injectable so tests can trip the deadline without
+    sleeping.  The guard never stores an absolute wall-clock timestamp:
+    :meth:`to_wire` emits the *remaining* budget and
+    :meth:`from_wire` re-arms it against the local clock, which is the
+    only sound way to hand a deadline to a worker subprocess (each
+    process's ``time.monotonic()`` has its own arbitrary epoch).
+    """
+
+    def __init__(self, budget_s: Optional[float],
+                 clock: Callable[[], float] = time.monotonic) -> None:
+        self.budget_s = budget_s
+        self.clock = clock
+        self._origin: Optional[float] = None
+
+    def start(self) -> "DeadlineGuard":
+        """Arm the budget relative to now; returns self."""
+        if self.budget_s is not None:
+            self._origin = self.clock()
+        return self
+
+    @property
+    def armed(self) -> bool:
+        return self._origin is not None
+
+    def elapsed(self) -> float:
+        """Seconds consumed since :meth:`start` (0.0 if unarmed).
+
+        A clock observed *behind* the armed origin — an injected
+        non-monotonic clock, or a wire value that leaked across a
+        process boundary — re-arms the origin at the observed value
+        rather than crediting the guard with negative elapsed time.
+        """
+        if self._origin is None:
+            return 0.0
+        now = self.clock()
+        if now < self._origin:
+            self._origin = now
+        return now - self._origin
+
+    def remaining(self) -> Optional[float]:
+        """Budget left, clamped at 0.0; None when unlimited."""
+        if self.budget_s is None:
+            return None
+        if self._origin is None:
+            return self.budget_s
+        return max(0.0, self.budget_s - self.elapsed())
+
+    def expired(self) -> bool:
+        """True when an armed budget has been fully consumed."""
+        return (self.budget_s is not None and self._origin is not None
+                and self.elapsed() > self.budget_s)
+
+    def to_wire(self) -> Dict[str, Optional[float]]:
+        """Serialize for a subprocess: remaining budget, no timestamps."""
+        return {"budget_s": self.remaining()}
+
+    @classmethod
+    def from_wire(cls, wire: Dict[str, Optional[float]],
+                  clock: Callable[[], float] = time.monotonic
+                  ) -> "DeadlineGuard":
+        """Rebuild and re-arm a guard shipped from another process."""
+        return cls(wire.get("budget_s"), clock=clock).start()
 
 
 class ResourceGuard:
@@ -36,12 +121,11 @@ class ResourceGuard:
         self.max_nodes = max_nodes
         self.clock = clock
         self.checks = 0
-        self._deadline: Optional[float] = None
+        self._deadline = DeadlineGuard(deadline_s, clock=clock)
 
     def start(self) -> "ResourceGuard":
         """Arm the deadline relative to now; returns self."""
-        if self.deadline_s is not None:
-            self._deadline = self.clock() + self.deadline_s
+        self._deadline.start()
         return self
 
     def __enter__(self) -> "ResourceGuard":
@@ -53,12 +137,14 @@ class ResourceGuard:
     def check(self, icfg: Optional[ICFG] = None) -> None:
         """Raise :class:`BudgetExceeded` if any armed budget is blown."""
         self.checks += 1
-        if self._deadline is not None and self.clock() > self._deadline:
+        if self._deadline.expired():
             raise BudgetExceeded(
                 f"per-conditional deadline of {self.deadline_s:g}s exceeded "
-                f"after {self.checks} checkpoints")
+                f"after {self.checks} checkpoints",
+                deadline_s=self.deadline_s, checkpoints=self.checks)
         if (self.max_nodes is not None and icfg is not None
                 and icfg.node_count() > self.max_nodes):
             raise BudgetExceeded(
                 f"node budget exceeded: {icfg.node_count()} nodes > "
-                f"cap {self.max_nodes}")
+                f"cap {self.max_nodes}",
+                nodes=icfg.node_count(), max_nodes=self.max_nodes)

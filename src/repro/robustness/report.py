@@ -13,11 +13,13 @@ post-mortem artifact instead of a lost stack trace.
 
 from __future__ import annotations
 
+import json
 import os
 import traceback
-from dataclasses import dataclass
-from typing import Optional
+from dataclasses import dataclass, field
+from typing import Dict, Optional
 
+from repro.errors import error_context
 from repro.ir.icfg import ICFG
 from repro.ir.printer import dump_icfg
 from repro.robustness.diffcheck import DiffReport
@@ -33,6 +35,9 @@ class DiagnosticsBundle:
     traceback_text: str = ""
     icfg_dump: str = ""
     diff: Optional[DiffReport] = None
+    #: The exception's structured ``.context`` dict (see
+    #: :class:`~repro.errors.ReproError`), JSON-sanitized.
+    error_context: Dict[str, object] = field(default_factory=dict)
 
     def render(self) -> str:
         """The bundle as a self-contained markdown document."""
@@ -40,6 +45,10 @@ class DiagnosticsBundle:
                  else "pipeline")
         parts = [f"# ICBE diagnostics — {where}, phase `{self.phase}`",
                  "", f"**Failure:** {self.failure or '(none recorded)'}"]
+        if self.error_context:
+            parts += ["", "**Context:**", "", "```json",
+                      json.dumps(self.error_context, sort_keys=True,
+                                 indent=2), "```"]
         if self.diff is not None:
             parts += ["", f"**Differential:** {self.diff.describe()}"]
         if self.traceback_text:
@@ -78,7 +87,9 @@ def capture_bundle(branch_id: int, phase: str,
     return DiagnosticsBundle(branch_id=branch_id, phase=phase,
                              failure=failure,
                              traceback_text=traceback_text,
-                             icfg_dump=icfg_dump, diff=diff)
+                             icfg_dump=icfg_dump, diff=diff,
+                             error_context=(error_context(exc)
+                                            if exc is not None else {}))
 
 
 def write_bundle(bundle: DiagnosticsBundle, directory: str) -> str:

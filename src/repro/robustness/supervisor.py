@@ -1,0 +1,591 @@
+"""Crash-isolated batch supervisor with checkpoint/resume.
+
+``icbe batch`` turns the single-program optimizer into a service-shaped
+component: each job runs in an **isolated worker subprocess** (see
+:mod:`~repro.robustness.worker`) under a wall-clock timeout and an
+address-space cap, so one pathological input — a hang in the
+demand-driven analysis, a memory blow-up, a hard crash — costs exactly
+one attempt of one job.  Failed attempts retry down the
+graceful-degradation ladder (:mod:`~repro.robustness.degrade`) with
+seeded, jittered exponential backoff; a circuit breaker stops retrying
+a *job class* after K consecutive hard process deaths; and every
+completed job is fsynced into a write-ahead journal
+(:mod:`~repro.robustness.journal`) so an interrupted run — including
+SIGKILL mid-job — resumes with ``--resume``, skipping completed jobs
+and replaying in-flight ones.
+
+Determinism contract: every piece of randomness (backoff jitter, chaos
+injection, differential workloads) derives from the single batch
+``seed`` plus stable job identity — never from wall-clock time, process
+ids, or scheduling order — and the journal is flushed in job-index
+order even under ``--jobs N`` parallelism.  Two runs with the same jobs
+and seed therefore produce **byte-identical** journals and reports, and
+so does an interrupted run finished with ``--resume``.
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+import os
+import random
+import time
+import zlib
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.errors import SupervisorError
+from repro.robustness import degrade
+from repro.robustness.degrade import (Attempt, HARD_RESULTS, JobOutcome,
+                                      NON_RETRYABLE_ERRORS, STATUS_DEGRADED,
+                                      STATUS_FAILED, STATUS_OK)
+from repro.robustness.guards import DeadlineGuard
+from repro.robustness.journal import Journal
+from repro.robustness.worker import parse_job_source, run_attempt, worker_main
+
+REPORT_NAME = "report.txt"
+
+
+def job_class_of(name: str) -> str:
+    """The circuit-breaker class of a job: its stem, minus a trailing
+    numeric suffix, so ``gen3.mc``/``gen17.mc`` share one class."""
+    stem = os.path.basename(name)
+    for extension in (".mc",):
+        if stem.endswith(extension):
+            stem = stem[:-len(extension)]
+    return stem.rstrip("0123456789_") or stem
+
+
+@dataclass
+class JobSpec:
+    """One unit of batch work."""
+
+    #: A ``.mc`` file path or a ``suite:<name>@<scale>`` reference.
+    source: str
+    name: str = ""
+    job_class: str = ""
+    #: Chaos injection: ``{"kind": "hang"|"crash"|"oom", "tiers": [...]}``.
+    inject: Optional[dict] = None
+    #: In-optimizer fault plan specs (site/hit/action/seed dicts).
+    faults: Tuple[dict, ...] = ()
+    #: Run the optimizer strict (injected faults escape and fail the
+    #: attempt instead of rolling back) — used by drills and tests to
+    #: exercise the ladder with in-optimizer faults.
+    strict: bool = False
+
+    def __post_init__(self) -> None:
+        if not self.name:
+            suite_ref = parse_job_source(self.source)
+            self.name = (suite_ref[0] if suite_ref
+                         else os.path.basename(self.source))
+        if not self.job_class:
+            self.job_class = job_class_of(self.name)
+        self.faults = tuple(self.faults)
+
+    def to_json(self) -> dict:
+        """The job *definition* as journaled in the meta record — the
+        whole definition, injections included, so a ``--resume`` replays
+        exactly the batch that was interrupted (chaos and all)."""
+        return {"source": self.source, "name": self.name,
+                "job_class": self.job_class, "inject": self.inject,
+                "faults": list(self.faults), "strict": self.strict}
+
+    @classmethod
+    def from_json(cls, data: dict) -> "JobSpec":
+        return cls(source=data["source"], name=data.get("name", ""),
+                   job_class=data.get("job_class", ""),
+                   inject=data.get("inject"),
+                   faults=tuple(data.get("faults", ())),
+                   strict=bool(data.get("strict", False)))
+
+
+@dataclass
+class SupervisorOptions:
+    """Batch-level knobs (per-tier optimizer knobs ride along)."""
+
+    jobs: int = 1                      # parallel workers
+    timeout_s: float = 60.0            # per-attempt wall clock
+    memory_mb: Optional[int] = 512     # per-worker address-space cap
+    seed: int = 0                      # the single source of randomness
+    budget: int = 1000
+    duplication_limit: Optional[int] = 100
+    diff_check: bool = True
+    #: Per-conditional cooperative deadline inside the worker (None =
+    #: rely on the process-level timeout alone).
+    conditional_deadline_s: Optional[float] = None
+    backoff_base_s: float = 0.05
+    backoff_factor: float = 2.0
+    backoff_jitter: float = 0.5        # +0..50% seeded jitter
+    backoff_max_s: float = 2.0
+    breaker_threshold: int = 5         # K consecutive hard failures
+    #: "process" (real subprocess isolation) or "inprocess" (no
+    #: isolation — fast path for property tests; hang injection and
+    #: rlimits are unavailable there).
+    isolation: str = "process"
+
+    def fingerprint(self) -> dict:
+        """The deterministic option set journaled in the meta record.
+
+        ``jobs`` (parallelism) is deliberately excluded: it affects
+        scheduling, never outcomes, so a resume may use a different
+        worker count and still reproduce the same bytes.
+        """
+        return {"timeout_s": self.timeout_s, "memory_mb": self.memory_mb,
+                "budget": self.budget,
+                "duplication_limit": self.duplication_limit,
+                "diff_check": self.diff_check,
+                "conditional_deadline_s": self.conditional_deadline_s,
+                "backoff_base_s": self.backoff_base_s,
+                "backoff_factor": self.backoff_factor,
+                "backoff_jitter": self.backoff_jitter,
+                "backoff_max_s": self.backoff_max_s,
+                "breaker_threshold": self.breaker_threshold}
+
+
+@dataclass
+class BatchReport:
+    """The supervisor's structured account of one (possibly resumed) run."""
+
+    outcomes: List[JobOutcome] = field(default_factory=list)
+    #: Jobs satisfied from the journal instead of being re-run.
+    resumed_jobs: int = 0
+    #: Classes whose circuit breaker opened during the run.
+    breaker_opened: List[str] = field(default_factory=list)
+    #: Wall time of this supervisor invocation (in-memory only — never
+    #: serialized, so journals and report files stay deterministic).
+    wall_s: float = 0.0
+
+    def status_counts(self) -> Dict[str, int]:
+        counts = {STATUS_OK: 0, STATUS_DEGRADED: 0, STATUS_FAILED: 0}
+        for outcome in self.outcomes:
+            counts[outcome.status] = counts.get(outcome.status, 0) + 1
+        return counts
+
+    def tier_counts(self) -> Dict[str, int]:
+        """Completed jobs per ladder tier (FAILED jobs count nowhere)."""
+        counts = {t.name: 0 for t in degrade.LADDER}
+        for outcome in self.outcomes:
+            if outcome.status != STATUS_FAILED:
+                counts[outcome.tier_name] += 1
+        return counts
+
+    @property
+    def total_retries(self) -> int:
+        return sum(o.retries for o in self.outcomes)
+
+    @property
+    def total_kills(self) -> int:
+        return sum(o.kills for o in self.outcomes)
+
+    @property
+    def all_definite(self) -> bool:
+        return all(o.definite for o in self.outcomes)
+
+    @property
+    def failed_jobs(self) -> List[JobOutcome]:
+        return [o for o in self.outcomes if o.status == STATUS_FAILED]
+
+    def render(self) -> str:
+        """The deterministic ``report.txt`` body (no timings, no pids)."""
+        lines = ["# icbe batch report",
+                 "ladder=" + ">".join(degrade.tier_names()), ""]
+        for index, outcome in enumerate(self.outcomes):
+            lines.append(
+                f"[{index}] {outcome.job} {outcome.status} "
+                f"tier={outcome.tier}/{outcome.tier_name} "
+                f"attempts={len(outcome.attempts)} "
+                f"retries={outcome.retries} kills={outcome.kills}"
+                + (f" reason={outcome.reason}" if outcome.reason else ""))
+        lines.append("")
+        tiers = self.tier_counts()
+        lines.append("tiers: " + " ".join(f"{name}={tiers[name]}"
+                                          for name in degrade.tier_names()))
+        statuses = self.status_counts()
+        lines.append("statuses: " + " ".join(
+            f"{key}={statuses[key]}"
+            for key in (STATUS_OK, STATUS_DEGRADED, STATUS_FAILED)))
+        lines.append(f"retries={self.total_retries} "
+                     f"kills={self.total_kills} "
+                     f"breaker_open={','.join(sorted(self.breaker_opened))}")
+        return "\n".join(lines) + "\n"
+
+
+@dataclass
+class _JobState:
+    """Supervisor-side progress of one job."""
+
+    index: int
+    spec: JobSpec
+    tier: int = 0
+    attempts: List[Attempt] = field(default_factory=list)
+    #: Monotonic instant before which the next attempt must not start.
+    eligible_at: float = 0.0
+    pending_backoff_s: float = 0.0
+    outcome: Optional[JobOutcome] = None
+
+    @property
+    def done(self) -> bool:
+        return self.outcome is not None
+
+
+class _Running:
+    """One live worker subprocess."""
+
+    def __init__(self, state: _JobState, process, result_path: str,
+                 deadline: DeadlineGuard) -> None:
+        self.state = state
+        self.process = process
+        self.result_path = result_path
+        self.deadline = deadline
+        self.killed_on_timeout = False
+
+
+class BatchSupervisor:
+    """Runs a batch of jobs to definite outcomes, whatever the jobs do."""
+
+    def __init__(self, jobs: Sequence[JobSpec], run_dir: str,
+                 options: Optional[SupervisorOptions] = None,
+                 resume: bool = False) -> None:
+        if not jobs and not resume:
+            raise SupervisorError("batch has no jobs")
+        self.jobs = list(jobs)
+        self.run_dir = run_dir
+        self.options = options or SupervisorOptions()
+        self.resume = resume
+        self.journal = Journal(run_dir)
+        self._breaker: Dict[str, int] = {}
+        self._breaker_open: Dict[str, str] = {}
+
+    # -- public API --------------------------------------------------------
+
+    def run(self) -> BatchReport:
+        started = time.monotonic()
+        report = BatchReport()
+        states = self._states = self._prepare(report)
+        try:
+            todo = [s for s in states if not s.done]
+            if todo:
+                if self.options.isolation == "inprocess":
+                    self._run_inprocess(todo)
+                else:
+                    self._run_processes(todo)
+            self._flush_journal()
+        finally:
+            self.journal.close()
+        report.outcomes = [s.outcome for s in states]
+        report.breaker_opened = sorted(self._breaker_open)
+        report.wall_s = time.monotonic() - started
+        self._write_report(report)
+        return report
+
+    # -- setup & resume ----------------------------------------------------
+
+    def _meta(self) -> dict:
+        return {"seed": self.options.seed,
+                "jobs": [s.to_json() for s in self.jobs],
+                "options": self.options.fingerprint()}
+
+    def _prepare(self, report: BatchReport) -> List[_JobState]:
+        if self.resume:
+            recovered = Journal.recover(self.run_dir)
+            # The journal's meta is authoritative for everything that
+            # shapes outcomes: seed, option fingerprint, and (when no
+            # explicit job list is given) the jobs themselves.  Worker
+            # parallelism is the one knob a resume may change freely.
+            self.options.seed = recovered.meta["seed"]
+            for key, value in recovered.meta["options"].items():
+                setattr(self.options, key, value)
+            if not self.jobs:
+                self.jobs = [JobSpec.from_json(data)
+                             for data in recovered.meta["jobs"]]
+            Journal.check_meta(recovered, {"version": 1, **self._meta()})
+            self.journal.open_resume(recovered)
+            completed = recovered.completed
+        else:
+            self.journal.open_fresh(self._meta())
+            completed = {}
+        states = [_JobState(index=i, spec=spec)
+                  for i, spec in enumerate(self.jobs)]
+        for index, outcome in completed.items():
+            if 0 <= index < len(states):
+                states[index].outcome = outcome
+                report.resumed_jobs += 1
+        self._journal_cursor = 0
+        self._journaled: Dict[int, bool] = {i: True for i in completed}
+        # Fast-forward past the prefix already on disk.
+        while self._journal_cursor in self._journaled:
+            self._journal_cursor += 1
+        return states
+
+    # -- the two execution backends ---------------------------------------
+
+    def _run_inprocess(self, todo: List[_JobState]) -> None:
+        """No-isolation fast path (tests): same ladder, same breaker,
+        same journal discipline; no real protection against hangs.
+        Chaos injection is process-level by nature (``crash`` would
+        ``os._exit`` the host, ``hang``/``oom`` would take it down), so
+        only in-optimizer fault plans are allowed here."""
+        for state in todo:
+            if state.spec.inject:
+                raise SupervisorError(
+                    f"{state.spec.inject.get('kind')!r} injection requires "
+                    f"process isolation", job=state.spec.name)
+        pending = list(todo)
+        while pending:
+            state = pending.pop(0)
+            payload = run_attempt(self._attempt_spec(state))
+            self._classify_structured(state, payload)
+            if state.done:
+                self._flush_journal()
+            else:
+                state.eligible_at = 0.0  # in-process: no real sleeping
+                pending.append(state)
+
+    def _run_processes(self, todo: List[_JobState]) -> None:
+        context = self._mp_context()
+        tmp_dir = os.path.join(self.run_dir, "tmp")
+        os.makedirs(tmp_dir, exist_ok=True)
+        ready: List[_JobState] = list(todo)
+        waiting: List[_JobState] = []
+        running: List[_Running] = []
+        while ready or waiting or running:
+            now = time.monotonic()
+            still_waiting = []
+            for state in waiting:
+                (ready if state.eligible_at <= now
+                 else still_waiting).append(state)
+            waiting = still_waiting
+            ready.sort(key=lambda s: s.index)
+            while ready and len(running) < max(1, self.options.jobs):
+                running.append(self._launch(context, tmp_dir, ready.pop(0)))
+            for worker in list(running):
+                if worker.process.is_alive():
+                    if worker.deadline.expired():
+                        worker.killed_on_timeout = True
+                        worker.process.kill()
+                        worker.process.join(10.0)
+                    else:
+                        continue
+                running.remove(worker)
+                state = worker.state
+                self._collect(worker)
+                if state.done:
+                    self._flush_journal()
+                else:
+                    waiting.append(state)
+            if running or waiting:
+                time.sleep(0.005)
+        # Reap everything (defensive; all workers were joined above).
+        for worker in running:
+            worker.process.join(0.1)
+
+    @staticmethod
+    def _mp_context():
+        try:
+            return multiprocessing.get_context("fork")
+        except ValueError:       # platforms without fork
+            return multiprocessing.get_context()
+
+    def _launch(self, context, tmp_dir: str, state: _JobState) -> _Running:
+        attempt_index = len(state.attempts)
+        result_path = os.path.join(
+            tmp_dir, f"attempt-{state.index}-{attempt_index}.json")
+        if os.path.exists(result_path):
+            os.remove(result_path)
+        process = context.Process(
+            target=worker_main,
+            args=(self._attempt_spec(state), result_path), daemon=True)
+        process.start()
+        deadline = DeadlineGuard(self.options.timeout_s).start()
+        return _Running(state, process, result_path, deadline)
+
+    def _attempt_spec(self, state: _JobState) -> dict:
+        opts = self.options
+        return {"job": state.spec.source,
+                "tier": state.tier,
+                "budget": opts.budget,
+                "duplication_limit": opts.duplication_limit,
+                "diff_check": opts.diff_check,
+                "diff_seed": self._derived_seed(state.spec.source, "diff"),
+                "conditional_deadline_s": opts.conditional_deadline_s,
+                "timeout_s": opts.timeout_s,
+                "memory_mb": opts.memory_mb,
+                "inject": state.spec.inject,
+                "faults": list(state.spec.faults),
+                "strict": state.spec.strict}
+
+    # -- attempt classification & the ladder -------------------------------
+
+    def _collect(self, worker: _Running) -> None:
+        """Turn one finished/killed worker into an attempt verdict."""
+        worker.process.join(0.1)
+        payload = self._read_result(worker.result_path)
+        if payload is not None:
+            self._classify_structured(worker.state, payload)
+            return
+        exitcode = worker.process.exitcode
+        if worker.killed_on_timeout:
+            result, detail = "timeout", (
+                f"no result within {self.options.timeout_s:g}s; "
+                f"worker killed")
+        elif exitcode is not None and exitcode < 0:
+            result, detail = "killed", f"worker died on signal {-exitcode}"
+        elif exitcode:
+            result, detail = "crash", f"worker exited with code {exitcode}"
+        else:
+            result, detail = "no-result", "worker exited without a result"
+        self._record_failure(worker.state, result, detail)
+
+    @staticmethod
+    def _read_result(result_path: str) -> Optional[dict]:
+        import json
+        if not os.path.exists(result_path):
+            return None
+        try:
+            with open(result_path, "r", encoding="utf-8") as handle:
+                return json.load(handle)
+        except (ValueError, OSError):
+            return None          # torn result == no result (atomic rename
+                                 # makes this unreachable in practice)
+
+    def _classify_structured(self, state: _JobState, payload: dict) -> None:
+        tier = degrade.tier(state.tier)
+        if payload.get("ok"):
+            state.attempts.append(Attempt(
+                tier=tier.index, tier_name=tier.name, result="ok",
+                backoff_s=state.pending_backoff_s))
+            self._breaker_success(state.spec.job_class)
+            self._finalize_success(state, payload.get("counts") or {})
+            return
+        kind = payload.get("kind", "error")
+        detail = f"{payload.get('error')}: {payload.get('message')}"
+        if payload.get("error") in NON_RETRYABLE_ERRORS:
+            state.attempts.append(Attempt(
+                tier=tier.index, tier_name=tier.name, result="error",
+                detail=detail, backoff_s=state.pending_backoff_s))
+            self._finalize_failed(state, f"non-retryable: {detail}")
+            return
+        self._record_failure(state, kind, detail)
+
+    def _record_failure(self, state: _JobState, result: str,
+                        detail: str) -> None:
+        """One failed attempt: breaker accounting, then descend or fail."""
+        tier = degrade.tier(state.tier)
+        state.attempts.append(Attempt(
+            tier=tier.index, tier_name=tier.name, result=result,
+            detail=detail, backoff_s=state.pending_backoff_s))
+        job_class = state.spec.job_class
+        if result in HARD_RESULTS:
+            self._breaker[job_class] = self._breaker.get(job_class, 0) + 1
+            if (job_class not in self._breaker_open
+                    and self._breaker[job_class]
+                    >= self.options.breaker_threshold):
+                self._breaker_open[job_class] = detail
+        if job_class in self._breaker_open:
+            state.attempts.append(Attempt(
+                tier=tier.index, tier_name=tier.name, result="circuit-open",
+                detail=f"class {job_class!r} breaker open"))
+            self._finalize_failed(
+                state,
+                f"circuit breaker open for class {job_class!r} after "
+                f"{self.options.breaker_threshold} consecutive hard "
+                f"failures; last: {detail}")
+            return
+        if state.tier >= degrade.FLOOR_TIER:
+            self._finalize_failed(
+                state, f"failed at floor tier "
+                       f"{degrade.tier(state.tier).name}: {detail}")
+            return
+        state.tier += 1
+        delay = self._backoff_delay(state)
+        state.pending_backoff_s = delay
+        state.eligible_at = time.monotonic() + delay
+
+    def _backoff_delay(self, state: _JobState) -> float:
+        """Seeded, jittered exponential backoff for the *next* attempt.
+
+        Derived purely from (batch seed, job identity, attempt number):
+        independent of scheduling order and of resume points, which is
+        what keeps journals byte-identical across interruptions.
+        """
+        opts = self.options
+        failures = len(state.attempts)
+        key = f"{state.index}:{state.spec.source}"
+        rng = random.Random((zlib.crc32(key.encode()) << 17)
+                            ^ (failures * 7919) ^ opts.seed)
+        delay = opts.backoff_base_s * (opts.backoff_factor
+                                       ** max(0, failures - 1))
+        delay *= 1.0 + opts.backoff_jitter * rng.random()
+        return min(delay, opts.backoff_max_s)
+
+    def _derived_seed(self, source: str, purpose: str) -> int:
+        return (zlib.crc32(f"{purpose}:{source}".encode())
+                ^ self.options.seed) & 0x7FFFFFFF
+
+    def _breaker_success(self, job_class: str) -> None:
+        self._breaker[job_class] = 0
+
+    # -- outcomes & persistence -------------------------------------------
+
+    def _finalize_success(self, state: _JobState, counts: dict) -> None:
+        tier = degrade.tier(state.tier)
+        if tier.index == 0:
+            status, reason = STATUS_OK, ""
+        else:
+            status = STATUS_DEGRADED
+            first_failure = next((a for a in state.attempts
+                                  if a.result != "ok"), None)
+            reason = (f"{first_failure.result}: {first_failure.detail}"
+                      if first_failure else "degraded")
+        state.outcome = JobOutcome(
+            job=state.spec.name, status=status, tier=tier.index,
+            tier_name=tier.name, reason=reason,
+            attempts=tuple(state.attempts), counts=counts)
+
+    def _finalize_failed(self, state: _JobState, reason: str) -> None:
+        tier = degrade.tier(state.tier)
+        state.outcome = JobOutcome(
+            job=state.spec.name, status=STATUS_FAILED, tier=tier.index,
+            tier_name=tier.name, reason=reason,
+            attempts=tuple(state.attempts))
+
+    def _flush_journal(self) -> None:
+        """Append finalized outcomes in job-index order, as soon as the
+        contiguous done-prefix grows (write-ahead: fsynced before any
+        scheduling decision depends on them).  Index order is the
+        determinism barrier for parallel workers: completion order may
+        vary, journal bytes may not."""
+        states = self._states
+        while (self._journal_cursor < len(states)
+               and states[self._journal_cursor].done):
+            if self._journal_cursor not in self._journaled:
+                self.journal.append_job(
+                    self._journal_cursor,
+                    states[self._journal_cursor].outcome)
+                self._journaled[self._journal_cursor] = True
+            self._journal_cursor += 1
+
+    def _write_report(self, report: BatchReport) -> None:
+        path = os.path.join(self.run_dir, REPORT_NAME)
+        tmp_path = path + ".tmp"
+        with open(tmp_path, "w", encoding="utf-8") as handle:
+            handle.write(report.render())
+            handle.flush()
+            os.fsync(handle.fileno())
+        os.replace(tmp_path, path)
+
+
+def run_batch(sources: Sequence[str], run_dir: str,
+              options: Optional[SupervisorOptions] = None,
+              resume: bool = False,
+              injections: Optional[Dict[str, dict]] = None,
+              ) -> BatchReport:
+    """Convenience wrapper: build specs (with optional chaos injections
+    keyed by job name) and run the supervisor."""
+    specs = []
+    for source in sources:
+        spec = JobSpec(source)
+        if injections and spec.name in injections:
+            spec.inject = injections[spec.name]
+        specs.append(spec)
+    return BatchSupervisor(specs, run_dir, options=options,
+                           resume=resume).run()

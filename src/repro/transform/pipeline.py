@@ -105,6 +105,13 @@ class OptimizerOptions:
     #: the original behaviour, kept as the A/B baseline; outcomes are
     #: identical either way.
     analysis_cache: bool = True
+    #: Degradation-ladder hook (see :mod:`repro.robustness.degrade`):
+    #: which ladder tier these options encode.  Purely descriptive here —
+    #: tier *semantics* are expressed through the other fields — but the
+    #: optimizer stamps it onto the report so a batch supervisor (and
+    #: its journal) can attribute every result to the tier that made it.
+    tier: int = 0
+    tier_name: str = "full"
 
 
 @dataclass
@@ -138,6 +145,10 @@ class OptimizationReport:
     #: Analysis-context counters for the run (hits, misses,
     #: invalidations, elided work); all zero when caching is off.
     cache: CacheStats = field(default_factory=CacheStats)
+    #: Degradation-ladder tier the run executed at (stamped from
+    #: :attr:`OptimizerOptions.tier`; 0/"full" outside batch runs).
+    tier: int = 0
+    tier_name: str = "full"
 
     @property
     def optimized_count(self) -> int:
@@ -207,7 +218,8 @@ class ICBEOptimizer:
             optimized=current,
             nodes_before=icfg.node_count(),
             executable_before=icfg.executable_node_count(),
-            conditionals_before=icfg.conditional_node_count())
+            conditionals_before=icfg.conditional_node_count(),
+            tier=opts.tier, tier_name=opts.tier_name)
 
         context = AnalysisContext(enabled=opts.analysis_cache)
         context.bind(current)

@@ -5,7 +5,8 @@ import pytest
 from tests.helpers import FGETC_LIKE, build
 
 from repro.errors import BudgetExceeded, ReproError
-from repro.robustness import ResourceGuard, checkpoint, robustness_context
+from repro.robustness import (DeadlineGuard, ResourceGuard, checkpoint,
+                              robustness_context)
 
 
 class FakeClock:
@@ -57,6 +58,75 @@ def test_guard_enforced_through_checkpoints():
     # Outside the context the same checkpoint is inert.
     clock.now += 100.0
     checkpoint("anywhere")
+
+
+def test_deadline_guard_basic_lifecycle():
+    clock = FakeClock()
+    guard = DeadlineGuard(5.0, clock=clock)
+    assert not guard.armed
+    assert guard.remaining() == 5.0  # unarmed: full budget
+    guard.start()
+    clock.now += 2.0
+    assert guard.elapsed() == 2.0
+    assert guard.remaining() == 3.0
+    assert not guard.expired()
+    clock.now += 4.0
+    assert guard.expired()
+    assert guard.remaining() == 0.0  # clamped, never negative
+
+
+def test_deadline_guard_unlimited_never_expires():
+    clock = FakeClock()
+    guard = DeadlineGuard(None, clock=clock).start()
+    clock.now += 1e9
+    assert not guard.expired()
+    assert guard.remaining() is None
+
+
+def test_deadline_guard_survives_a_backwards_clock():
+    # A clock step behind the origin must re-arm, not credit negative
+    # elapsed time (which would extend the budget indefinitely).
+    clock = FakeClock()
+    guard = DeadlineGuard(5.0, clock=clock).start()
+    clock.now -= 50.0
+    assert guard.elapsed() == 0.0  # re-armed at the observed instant
+    clock.now += 4.0
+    assert not guard.expired()
+    clock.now += 2.0
+    assert guard.expired()  # and it still fires afterwards
+
+
+def test_deadline_guard_wire_format_carries_budget_not_timestamps():
+    # Monotonic clocks have per-process epochs, so the only sound wire
+    # format is "remaining budget"; the receiver re-arms locally.
+    parent_clock = FakeClock()
+    guard = DeadlineGuard(10.0, clock=parent_clock).start()
+    parent_clock.now += 4.0
+    wire = guard.to_wire()
+    assert wire == {"budget_s": 6.0}
+    assert "origin" not in wire and "deadline" not in wire
+
+    child_clock = FakeClock()
+    child_clock.now = 123456.0  # wildly different epoch, as in a real fork
+    child = DeadlineGuard.from_wire(wire, clock=child_clock)
+    assert child.armed
+    child_clock.now += 5.0
+    assert not child.expired()
+    child_clock.now += 2.0
+    assert child.expired()
+
+
+def test_resource_guard_deadline_delegates_to_deadline_guard():
+    clock = FakeClock()
+    guard = ResourceGuard(deadline_s=1.0, clock=clock).start()
+    clock.now -= 10.0  # backwards step: inherited resilience
+    guard.check()
+    clock.now += 2.0
+    with pytest.raises(BudgetExceeded) as excinfo:
+        guard.check()
+    # Structured context rides on the exception (see repro.errors).
+    assert excinfo.value.context["deadline_s"] == 1.0
+    assert excinfo.value.context["checkpoints"] == 2
 
 
 def test_contexts_nest_and_restore():

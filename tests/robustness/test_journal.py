@@ -1,0 +1,121 @@
+"""The write-ahead journal: canonical bytes, recovery, torn tails."""
+
+import json
+import os
+
+import pytest
+
+from repro.errors import SupervisorError
+from repro.robustness.degrade import Attempt, JobOutcome
+from repro.robustness.journal import (Journal, canonical_json, load_outcomes)
+
+
+def _outcome(job="a.mc", status="OK", tier=0):
+    return JobOutcome(job=job, status=status, tier=tier, tier_name="full",
+                      attempts=(Attempt(0, "full", "ok"),),
+                      counts={"optimized": 1})
+
+
+def _meta(seed=7):
+    return {"seed": seed, "jobs": ["a.mc", "b.mc"],
+            "options": {"timeout_s": 5.0}}
+
+
+def _write(run_dir, meta=None, outcomes=()):
+    journal = Journal(str(run_dir))
+    journal.open_fresh(meta or _meta())
+    for index, outcome in enumerate(outcomes):
+        journal.append_job(index, outcome)
+    journal.close()
+    return journal.path
+
+
+def test_canonical_json_is_stable_and_compact():
+    record = {"b": 2, "a": {"y": 1, "x": [3, 1]}}
+    text = canonical_json(record)
+    assert text == '{"a":{"x":[3,1],"y":1},"b":2}'
+    assert canonical_json(json.loads(text)) == text
+
+
+def test_journal_roundtrip(tmp_path):
+    outcomes = [_outcome("a.mc"), _outcome("b.mc", status="DEGRADED", tier=1)]
+    _write(tmp_path, outcomes=outcomes)
+    recovered = Journal.recover(str(tmp_path))
+    assert recovered.meta["seed"] == 7
+    assert not recovered.torn_tail
+    assert recovered.completed[0] == outcomes[0]
+    assert recovered.completed[1] == outcomes[1]
+    assert load_outcomes(str(tmp_path)) == outcomes
+
+
+def test_job_records_contain_no_timing_fields(tmp_path):
+    # The byte-identical resume contract forbids anything wall-clock
+    # flavoured in job records (meta legitimately holds the timeout_s
+    # *option*, which is configuration, not measurement).
+    path = _write(tmp_path, outcomes=[_outcome()])
+    job_lines = [line for line in open(path, encoding="utf-8")
+                 if '"type":"job"' in line]
+    assert job_lines
+    for forbidden in ("time", "stamp", "pid", "duration", "wall", "elapsed"):
+        for line in job_lines:
+            assert forbidden not in line
+
+
+def test_torn_tail_is_tolerated_and_truncated(tmp_path):
+    path = _write(tmp_path, outcomes=[_outcome()])
+    intact = os.path.getsize(path)
+    with open(path, "ab") as handle:
+        handle.write(b'{"type":"job","ind')  # SIGKILL mid-write
+    recovered = Journal.recover(str(tmp_path))
+    assert recovered.torn_tail
+    assert recovered.valid_bytes == intact
+    assert list(recovered.completed) == [0]
+
+    journal = Journal(str(tmp_path))
+    journal.open_resume(recovered)
+    journal.append_job(1, _outcome("b.mc"))
+    journal.close()
+    again = Journal.recover(str(tmp_path))
+    assert not again.torn_tail
+    assert sorted(again.completed) == [0, 1]
+
+
+def test_mid_file_corruption_is_an_error(tmp_path):
+    path = _write(tmp_path, outcomes=[_outcome()])
+    lines = open(path, "rb").read().splitlines(keepends=True)
+    with open(path, "wb") as handle:
+        handle.write(lines[0] + b"{garbage\n" + lines[1])
+    with pytest.raises(SupervisorError, match="corrupt journal record"):
+        Journal.recover(str(tmp_path))
+
+
+def test_missing_journal_is_an_error(tmp_path):
+    with pytest.raises(SupervisorError, match="no journal to resume"):
+        Journal.recover(str(tmp_path))
+
+
+def test_missing_meta_is_an_error(tmp_path):
+    path = tmp_path / "journal.jsonl"
+    path.write_text(canonical_json(
+        {"type": "job", "index": 0, "outcome": _outcome().to_json()}) + "\n")
+    with pytest.raises(SupervisorError, match="no meta record"):
+        Journal.recover(str(tmp_path))
+
+
+def test_check_meta_refuses_foreign_batches(tmp_path):
+    _write(tmp_path)
+    recovered = Journal.recover(str(tmp_path))
+    Journal.check_meta(recovered, {"version": 1, **_meta()})  # same: fine
+    with pytest.raises(SupervisorError, match="seed mismatch"):
+        Journal.check_meta(recovered, {"version": 1, **_meta(seed=8)})
+    other_jobs = {"version": 1, **_meta()}
+    other_jobs["jobs"] = ["a.mc"]
+    with pytest.raises(SupervisorError, match="jobs mismatch"):
+        Journal.check_meta(recovered, other_jobs)
+
+
+def test_identical_writes_are_byte_identical(tmp_path):
+    outcomes = [_outcome("a.mc"), _outcome("b.mc")]
+    path_one = _write(tmp_path / "one", outcomes=outcomes)
+    path_two = _write(tmp_path / "two", outcomes=outcomes)
+    assert open(path_one, "rb").read() == open(path_two, "rb").read()

@@ -1,3 +1,5 @@
+import os
+
 import pytest
 
 from repro.cli import main
@@ -98,3 +100,93 @@ def test_analyze_dot_overlay(program_file, capsys):
     out = capsys.readouterr().out
     assert out.startswith("digraph")
     assert "palegreen" in out  # the fully correlated re-check
+
+
+# -- operator errors: exit code 2, one-line diagnostic, no traceback ------
+
+
+def test_parse_error_exits_2_with_one_line_diagnostic(tmp_path, capsys):
+    path = tmp_path / "broken.mc"
+    path.write_text("proc main() {\n  print 1\n}")  # missing ';'
+    assert main(["optimize", str(path)]) == 2
+    captured = capsys.readouterr()
+    assert captured.out == ""
+    assert captured.err.startswith("icbe: error: ")
+    assert "Traceback" not in captured.err
+    # The ParseError's structured .context rides along.
+    assert "icbe: context:" in captured.err
+    assert "line=3" in captured.err
+
+
+def test_semantic_error_exits_2_and_names_the_procedure(tmp_path, capsys):
+    path = tmp_path / "sema.mc"
+    path.write_text("proc main() {\n  ghost = 1;\n}")
+    assert main(["run", str(path)]) == 2
+    err = capsys.readouterr().err
+    assert err.startswith("icbe: error: ")
+    assert "proc=main" in err
+    assert "Traceback" not in err
+
+
+def test_missing_file_exits_2(capsys):
+    assert main(["dump", "/no/such/file.mc"]) == 2
+    err = capsys.readouterr().err
+    assert err.startswith("icbe: error: ")
+    assert "Traceback" not in err
+
+
+def test_traceback_flag_reraises(tmp_path):
+    path = tmp_path / "broken.mc"
+    path.write_text("proc main() { print 1 }")
+    from repro.errors import ParseError
+    with pytest.raises(ParseError):
+        main(["--traceback", "analyze", str(path)])
+
+
+# -- icbe batch -----------------------------------------------------------
+
+
+def test_batch_runs_jobs_and_writes_journal(program_file, tmp_path, capsys):
+    run_dir = tmp_path / "run"
+    code = main(["batch", program_file, "--run-dir", str(run_dir),
+                 "--seed", "1", "--backoff", "0"])
+    captured = capsys.readouterr()
+    assert code == 0
+    assert "prog.mc: OK" in captured.out
+    assert "1 ok, 0 degraded, 0 failed" in captured.out
+    assert "journal:" in captured.err
+    assert os.path.exists(run_dir / "journal.jsonl")
+    assert os.path.exists(run_dir / "report.txt")
+
+
+def test_batch_resume_skips_completed_jobs(program_file, tmp_path, capsys):
+    run_dir = tmp_path / "run"
+    assert main(["batch", program_file, "--run-dir", str(run_dir),
+                 "--seed", "4", "--backoff", "0"]) == 0
+    capsys.readouterr()
+    assert main(["batch", program_file, "--resume", str(run_dir)]) == 0
+    assert "resumed 1 from journal" in capsys.readouterr().out
+
+
+def test_batch_failed_job_exits_1(program_file, tmp_path, capsys):
+    bad = tmp_path / "bad.mc"
+    bad.write_text("proc main() { print 1 }")
+    code = main(["batch", program_file, str(bad),
+                 "--run-dir", str(tmp_path / "run"), "--backoff", "0"])
+    out = capsys.readouterr().out
+    assert code == 1
+    assert "bad.mc: FAILED" in out
+    assert "prog.mc: OK" in out  # the good job still completed
+
+
+def test_batch_bad_inject_spec_exits_2(program_file, tmp_path, capsys):
+    assert main(["batch", program_file, "--run-dir", str(tmp_path / "run"),
+                 "--inject", "explode:prog.mc"]) == 2
+    assert "icbe: error:" in capsys.readouterr().err
+
+
+def test_batch_resume_without_journal_exits_2(tmp_path, capsys):
+    assert main(["batch", "--resume", str(tmp_path / "nothing")]) == 2
+    err = capsys.readouterr().err
+    assert "no journal to resume" in err
+    assert "Traceback" not in err

@@ -47,6 +47,54 @@ def test_analysis_error_for_non_branch_node():
         analyze_branch(icfg, icfg.main_entry())
 
 
+def test_repro_error_carries_structured_context():
+    failure = errors.ReproError("boom", proc="main", tier=2, budget=1000)
+    assert str(failure) == "boom"
+    assert failure.context == {"proc": "main", "tier": 2, "budget": 1000}
+
+
+def test_frontend_errors_expose_positions_as_context():
+    with pytest.raises(errors.LexError) as lex:
+        tokenize("ab\ncd $")
+    assert lex.value.context == {"line": 2, "column": 4}
+    with pytest.raises(errors.ParseError) as parse:
+        parse_program("proc main() {\n  print 1\n}")
+    assert parse.value.context["line"] == 3
+    with pytest.raises(errors.SemanticError) as sema:
+        parse_program("proc main() {\n  ghost = 1;\n}")
+    assert sema.value.context["proc"] == "main"
+    assert sema.value.context["line"] == 2
+
+
+def test_error_context_sanitizes_for_json():
+    failure = errors.ReproError("x", count=3, ratio=0.5, label="ok",
+                                missing=None, graph=object())
+    context = errors.error_context(failure)
+    assert context["count"] == 3 and context["ratio"] == 0.5
+    assert context["label"] == "ok" and context["missing"] is None
+    assert context["graph"].startswith("<object object")  # repr fallback
+    import json
+    json.dumps(context)  # must always serialize
+
+
+def test_error_context_of_foreign_exceptions_is_empty():
+    assert errors.error_context(ValueError("nope")) == {}
+    broken = errors.ReproError("x")
+    broken.context = "not a dict"  # defensive: never propagate garbage
+    assert errors.error_context(broken) == {}
+
+
+def test_context_rides_into_diagnostics_bundles():
+    from repro.robustness.report import capture_bundle
+    bundle = capture_bundle(
+        7, "restructure",
+        exc=errors.TransformError("split failed", branch=7, nodes=41))
+    assert bundle.error_context == {"branch": 7, "nodes": 41}
+    rendered = bundle.render()
+    assert "**Context:**" in rendered
+    assert '"nodes": 41' in rendered
+
+
 def test_interpreter_error_messages_name_the_fault():
     from repro.interp import Workload, run_icfg
     from repro.ir import lower_program
