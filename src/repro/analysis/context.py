@@ -74,10 +74,21 @@ class CacheStats:
     analyses_reused: int = 0
     commits: int = 0
     rollbacks: int = 0
+    queries_interned: int = 0
+    value_sets_interned: int = 0
 
     @property
     def summary_lookups(self) -> int:
         return self.summary_hits + self.summary_misses
+
+    def publish(self, prefix: str = "cache.") -> None:
+        """Feed every counter into the active observability session's
+        metrics registry (no-op when observability is off)."""
+        from repro import obs
+        if not obs.enabled():
+            return
+        for name, value in vars(self).items():
+            obs.add(prefix + name, value)
 
     def describe(self) -> str:
         return (f"summary cache: {self.summary_hits} hits / "
@@ -184,6 +195,7 @@ class AnalysisContext:
         if cached is not None:
             return cached
         self._queries[query] = query
+        self.stats.queries_interned += 1
         return query
 
     def intern_value_set(self, values: ValueSet) -> ValueSet:
@@ -191,6 +203,7 @@ class AnalysisContext:
         if cached is not None:
             return cached
         self._value_sets[values] = values
+        self.stats.value_sets_interned += 1
         return values
 
     # -- memoized whole-program analyses -------------------------------------

@@ -30,18 +30,29 @@ def analyze_branch(icfg: ICFG, branch_id: int,
     summary cache: completed summary-node entries of this analysis are
     stored for later conditionals.
     """
+    from repro import obs
     node = icfg.nodes.get(branch_id)
     if not isinstance(node, BranchNode):
         raise AnalysisError(f"node {branch_id} is not a conditional branch")
-    reuse = engine is not None
-    if engine is None:
-        engine = CorrelationEngine(icfg, config, context=context)
-    initial = engine.analyze(node, reuse_cache=reuse)
-    if initial is None:
-        return CorrelationResult(icfg, branch_id, None, None)
-    answers = collect_answers(engine)
-    if engine.context is not None and not engine.stats.budget_exhausted:
-        _store_summaries(engine, answers)
+    with obs.span("analysis.correlation", branch=branch_id,
+                  proc=node.proc) as span:
+        reuse = engine is not None
+        if engine is None:
+            engine = CorrelationEngine(icfg, config, context=context)
+        initial = engine.analyze(node, reuse_cache=reuse)
+        if initial is None:
+            span.set(analyzable=False)
+            obs.add("analysis.branches_unanalyzable")
+            return CorrelationResult(icfg, branch_id, None, None)
+        answers = collect_answers(engine)
+        if engine.context is not None and not engine.stats.budget_exhausted:
+            _store_summaries(engine, answers)
+        span.set(pairs=engine.stats.pairs_examined,
+                 budget_exhausted=engine.stats.budget_exhausted)
+    obs.add("analysis.branches_analyzed")
+    obs.add("analysis.pairs_examined", engine.stats.pairs_examined)
+    if engine.stats.budget_exhausted:
+        obs.add("analysis.budget_exhaustions")
     return CorrelationResult(icfg, branch_id, initial, engine,
                              answers=answers, stats=engine.stats)
 

@@ -11,6 +11,14 @@ Subcommands::
     icbe batch <job>... [--jobs N] [--resume DIR]  crash-isolated batch runs
     icbe experiment <name>                    run a paper experiment
 
+Every subcommand accepts ``suite:<name>[@scale]`` benchmark references
+wherever it accepts a ``.mc`` file, and the top-level ``--trace
+FILE.jsonl`` / ``--profile`` flags run it under an observability
+session: ``--trace`` writes the hierarchical span tree plus the metrics
+snapshot as JSONL (convert with ``python -m repro.obs.export``),
+``--profile`` prints a pstats-style per-span aggregate to stderr.  See
+docs/OBSERVABILITY.md.
+
 Frontend, semantic, and IO errors exit with code 2 and a one-line
 diagnostic on stderr — never a traceback (``--traceback`` re-enables
 the stack for debugging).
@@ -25,17 +33,15 @@ from typing import List, Optional
 from repro.analysis import AnalysisConfig, analyze_branch
 from repro.analysis.cost import duplication_upper_bound
 from repro.interp import Workload, run_icfg
-from repro.ir import dump_icfg, lower_program, verify_icfg
+from repro.ir import dump_icfg, verify_icfg
 from repro.ir.printer import to_dot
-from repro.lang import parse_program
 from repro.transform import ICBEOptimizer, OptimizerOptions
 
 
-def _load(path: str):
-    with open(path, "r", encoding="utf-8") as handle:
-        source = handle.read()
-    icfg = lower_program(parse_program(source))
-    verify_icfg(icfg)
+def _load(source: str):
+    """Load a job source: a ``.mc`` path or ``suite:<name>[@scale]``."""
+    from repro.robustness.worker import load_job_icfg
+    icfg, _ = load_job_icfg(source)
     return icfg
 
 
@@ -45,9 +51,16 @@ def _config(args: argparse.Namespace) -> AnalysisConfig:
 
 
 def cmd_run(args: argparse.Namespace) -> int:
-    """``icbe run``: execute a program over a workload."""
-    icfg = _load(args.file)
-    result = run_icfg(icfg, Workload(args.input))
+    """``icbe run``: execute a program over a workload.
+
+    Suite references run their deterministic reference workload when no
+    ``--input`` is given; ``.mc`` files default to an empty workload.
+    """
+    from repro.robustness.worker import load_job_icfg
+    icfg, ref_workload = load_job_icfg(args.file)
+    workload = (ref_workload if not args.input and ref_workload is not None
+                else Workload(args.input))
+    result = run_icfg(icfg, workload)
     for value in result.output:
         print(value)
     print(f"-- status: {result.status}  exit: {result.exit_value}  "
@@ -203,6 +216,10 @@ def cmd_batch(args: argparse.Namespace) -> int:
           f"{report.total_kills} kills"
           + (f"; resumed {report.resumed_jobs} from journal"
              if report.resumed_jobs else ""))
+    for name, entry in sorted(report.job_telemetry().items()):
+        print(f"-- telemetry: {name}: {entry['attempts']} attempt(s), "
+              f"{entry['wall_s']:.2f}s wall, "
+              f"peak rss {entry['peak_rss_kb']} KiB", file=sys.stderr)
     print(f"-- journal: {supervisor.journal.path}  "
           f"wall: {report.wall_s:.2f}s", file=sys.stderr)
     return 1 if report.failed_jobs else 0
@@ -216,11 +233,28 @@ def cmd_experiment(args: argparse.Namespace) -> int:
 
 def build_parser() -> argparse.ArgumentParser:
     """The argparse command tree."""
+    # Observability flags live on a shared parent so they parse both
+    # before and after the subcommand (``icbe --trace f optimize x`` and
+    # ``icbe optimize x --trace f``); argparse only applies a subparser
+    # default when the top-level parse left the attribute unset.
+    obs_parent = argparse.ArgumentParser(add_help=False)
+    obs_parent.add_argument(
+        "--trace", default=None, metavar="FILE.jsonl",
+        help="run under an observability session and write the span "
+             "tree + metrics snapshot as JSONL (convert to Chrome "
+             "trace-viewer format with python -m repro.obs.export)")
+    obs_parent.add_argument(
+        "--profile", action="store_true",
+        help="print a pstats-style per-span aggregate of the "
+             "invocation to stderr")
     parser = argparse.ArgumentParser(
-        prog="icbe",
+        prog="icbe", parents=[obs_parent],
         description="Interprocedural Conditional Branch Elimination "
                     "(PLDI 1997 reproduction)")
     sub = parser.add_subparsers(dest="command", required=True)
+
+    def add_parser(name: str, **kwargs) -> argparse.ArgumentParser:
+        return sub.add_parser(name, parents=[obs_parent], **kwargs)
 
     def common(p: argparse.ArgumentParser) -> None:
         p.add_argument("file", help="MiniC source file")
@@ -229,25 +263,25 @@ def build_parser() -> argparse.ArgumentParser:
         p.add_argument("--budget", type=int, default=1000,
                        help="node-query-pair analysis budget")
 
-    run_p = sub.add_parser("run", help="execute a program")
+    run_p = add_parser("run", help="execute a program")
     run_p.add_argument("file")
     run_p.add_argument("--input", type=int, nargs="*", default=[],
                        help="workload values for input()")
     run_p.set_defaults(func=cmd_run)
 
-    dump_p = sub.add_parser("dump", help="print the ICFG")
+    dump_p = add_parser("dump", help="print the ICFG")
     dump_p.add_argument("file")
     dump_p.add_argument("--dot", action="store_true",
                         help="Graphviz output")
     dump_p.set_defaults(func=cmd_dump)
 
-    analyze_p = sub.add_parser("analyze", help="correlation per conditional")
+    analyze_p = add_parser("analyze", help="correlation per conditional")
     common(analyze_p)
     analyze_p.add_argument("--dot", action="store_true",
                            help="Graphviz output with correlation overlay")
     analyze_p.set_defaults(func=cmd_analyze)
 
-    optimize_p = sub.add_parser("optimize", help="run the ICBE optimizer")
+    optimize_p = add_parser("optimize", help="run the ICBE optimizer")
     common(optimize_p)
     optimize_p.add_argument("--limit", type=int, default=None,
                             help="per-conditional duplication limit")
@@ -277,12 +311,12 @@ def build_parser() -> argparse.ArgumentParser:
                                  "outcomes are identical, only slower")
     optimize_p.set_defaults(func=cmd_optimize)
 
-    predict_p = sub.add_parser(
+    predict_p = add_parser(
         "predict", help="correlation-assisted static branch prediction")
     common(predict_p)
     predict_p.set_defaults(func=cmd_predict)
 
-    inline_p = sub.add_parser(
+    inline_p = add_parser(
         "inline", help="exhaustively inline non-recursive call sites")
     inline_p.add_argument("file")
     inline_p.add_argument("--node-budget", type=int, default=100_000,
@@ -293,7 +327,7 @@ def build_parser() -> argparse.ArgumentParser:
                           help="dump the inlined ICFG")
     inline_p.set_defaults(func=cmd_inline)
 
-    batch_p = sub.add_parser(
+    batch_p = add_parser(
         "batch", help="optimize many programs under the crash-isolated "
                       "batch supervisor (checkpoint/resume, degradation "
                       "ladder; see docs/ROBUSTNESS.md)")
@@ -336,7 +370,7 @@ def build_parser() -> argparse.ArgumentParser:
                               "(repeatable; deterministic given --seed)")
     batch_p.set_defaults(func=cmd_batch)
 
-    exp_p = sub.add_parser("experiment", help="run a paper experiment")
+    exp_p = add_parser("experiment", help="run a paper experiment")
     exp_p.add_argument("name",
                        help="table1|table2|fig9|fig10|fig11|headline|all")
     exp_p.set_defaults(func=cmd_experiment)
@@ -345,6 +379,32 @@ def build_parser() -> argparse.ArgumentParser:
                         help="debugging: re-raise errors instead of the "
                              "one-line exit-code-2 diagnostic")
     return parser
+
+
+def _invoke(args: argparse.Namespace) -> int:
+    """Dispatch one parsed invocation, honouring ``--trace``/``--profile``.
+
+    With either flag the whole subcommand runs under an observability
+    session rooted at a ``cli.<command>`` span; the trace file and the
+    profile table are emitted even when the command fails, so a slow or
+    crashing run still leaves its evidence behind.
+    """
+    if not args.trace and not args.profile:
+        return args.func(args)
+    from repro import obs
+    with obs.session() as active:
+        try:
+            with obs.span(f"cli.{args.command}"):
+                return args.func(args)
+        finally:
+            if args.trace:
+                active.write_jsonl(args.trace,
+                                   meta={"command": args.command})
+                print(f"-- trace: {args.trace} "
+                      f"({len(active.export_spans())} spans)",
+                      file=sys.stderr)
+            if args.profile:
+                print(active.render_profile(), file=sys.stderr)
 
 
 def main(argv: Optional[List[str]] = None) -> int:
@@ -359,7 +419,7 @@ def main(argv: Optional[List[str]] = None) -> int:
 
     args = build_parser().parse_args(argv)
     try:
-        return args.func(args)
+        return _invoke(args)
     except (ReproError, OSError) as failure:
         if getattr(args, "traceback", False):
             raise

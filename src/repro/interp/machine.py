@@ -216,5 +216,12 @@ class Machine:
 def run_icfg(icfg: ICFG, workload: Optional[Workload] = None,
              step_limit: int = DEFAULT_STEP_LIMIT) -> ExecutionResult:
     """Convenience wrapper: execute ``icfg`` over ``workload``."""
+    from repro import obs
     stream = workload.fresh() if workload is not None else None
-    return Machine(icfg, stream, step_limit).run()
+    with obs.span("interp.run") as span:
+        result = Machine(icfg, stream, step_limit).run()
+        span.set(status=result.status,
+                 operations=result.profile.executed_operations)
+    obs.add("interp.executed_conditionals",
+            result.profile.executed_conditionals)
+    return result

@@ -312,6 +312,15 @@ class _ProcLowerer:
 
 def lower_program(program: ast.Program, check: bool = True) -> ICFG:
     """Lower a checked MiniC program to its ICFG."""
+    from repro import obs
+    with obs.span("ir.lower") as obs_span:
+        icfg = _lower_program(program, check)
+        obs_span.set(procs=len(icfg.procs), nodes=icfg.node_count())
+    return icfg
+
+
+def _lower_program(program: ast.Program, check: bool) -> ICFG:
+    """The untraced body of :func:`lower_program`."""
     if check:
         check_program(program)
 

@@ -260,6 +260,13 @@ def verify_icfg(icfg: ICFG, procs: Optional[Iterable[str]] = None) -> None:
     out-of-band mutation marks everything dirty).  ``procs=None`` is
     the full check.
     """
+    from repro import obs
+    with obs.span("ir.verify", scoped=procs is not None):
+        _verify(icfg, procs)
+
+
+def _verify(icfg: ICFG, procs: Optional[Iterable[str]]) -> None:
+    """The untraced body of :func:`verify_icfg`."""
     if icfg.main not in icfg.procs:
         _fail(f"main procedure {icfg.main!r} missing")
     if procs is None:

@@ -362,7 +362,11 @@ def parse_program(source: str, check: bool = True) -> ast.Program:
     With ``check=True`` (the default) the program is also semantically
     validated (scopes, arity, break placement).
     """
-    program = _Parser(tokenize(source)).parse_program()
-    if check:
-        check_program(program)
+    from repro import obs
+    with obs.span("frontend.parse") as span:
+        program = _Parser(tokenize(source)).parse_program()
+        if check:
+            with obs.span("frontend.sema"):
+                check_program(program)
+        span.set(procs=len(program.procs))
     return program

@@ -1,0 +1,184 @@
+"""Trace exporters: JSONL, Chrome trace, and a pstats-style table.
+
+Three consumers of one span tree:
+
+- :func:`write_jsonl` / :func:`read_jsonl` — the on-disk interchange
+  format (``icbe ... --trace out.jsonl``): one JSON record per line,
+  first a ``{"type": "trace"}`` header, then one record per span in
+  start order, then a ``{"type": "metrics"}`` footer with the
+  registry snapshot.
+- :func:`to_chrome_trace` — the same spans as Chrome's trace-event JSON
+  (open ``chrome://tracing`` or https://ui.perfetto.dev and load the
+  file): complete ``"ph": "X"`` events, microsecond timestamps.
+- :func:`render_profile` — a deterministic-layout aggregate table in
+  the spirit of ``pstats``: per span name, call count, total (inclusive)
+  time, self (exclusive) time, and mean — the self-profile the harness
+  report embeds.
+
+Run ``python -m repro.obs.export trace.jsonl chrome.json`` to convert a
+JSONL trace for ``chrome://tracing``.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Dict, List, Optional
+
+TRACE_SCHEMA_VERSION = 1
+
+
+# -- JSONL ------------------------------------------------------------------
+
+
+def write_jsonl(path: str, spans: List[dict],
+                metrics: Optional[dict] = None,
+                meta: Optional[dict] = None) -> None:
+    """Write one trace (span records + optional metrics snapshot) as
+    line-delimited JSON; ``meta`` lands in the header record."""
+    with open(path, "w", encoding="utf-8") as handle:
+        header = {"type": "trace", "version": TRACE_SCHEMA_VERSION}
+        if meta:
+            header["meta"] = meta
+        handle.write(json.dumps(header, sort_keys=True) + "\n")
+        for record in spans:
+            handle.write(json.dumps({"type": "span", **record},
+                                    sort_keys=True) + "\n")
+        if metrics is not None:
+            handle.write(json.dumps({"type": "metrics", "snapshot": metrics},
+                                    sort_keys=True) + "\n")
+
+
+def read_jsonl(path: str) -> dict:
+    """Parse a ``--trace`` file back into
+    ``{"meta": ..., "spans": [...], "metrics": ...}``."""
+    result: dict = {"meta": {}, "spans": [], "metrics": None}
+    with open(path, "r", encoding="utf-8") as handle:
+        for line in handle:
+            line = line.strip()
+            if not line:
+                continue
+            record = json.loads(line)
+            kind = record.get("type")
+            if kind == "trace":
+                result["meta"] = record.get("meta", {})
+            elif kind == "span":
+                result["spans"].append(record)
+            elif kind == "metrics":
+                result["metrics"] = record.get("snapshot")
+    return result
+
+
+# -- Chrome trace -----------------------------------------------------------
+
+
+def to_chrome_trace(spans: List[dict], process_name: str = "icbe") -> dict:
+    """Span records -> Chrome trace-event JSON (``chrome://tracing``).
+
+    Each span becomes one complete event (``"ph": "X"``) with
+    microsecond ``ts``/``dur`` rebased so the earliest span starts at 0.
+    Spans adopted from worker subprocesses keep their ``origin``
+    attribute and are routed to their own ``tid`` lane so the
+    supervisor's timeline and each worker's stay visually separate.
+    """
+    events: List[dict] = []
+    if spans:
+        epoch = min(record["start_s"] for record in spans)
+    else:
+        epoch = 0.0
+    lanes: Dict[str, int] = {"": 1}
+    for record in spans:
+        origin = str((record.get("attrs") or {}).get("origin", ""))
+        if origin not in lanes:
+            lanes[origin] = len(lanes) + 1
+        event = {
+            "name": record["name"],
+            "ph": "X",
+            "pid": 1,
+            "tid": lanes[origin],
+            "ts": round((record["start_s"] - epoch) * 1e6, 3),
+            "dur": round(record["dur_s"] * 1e6, 3),
+            "cat": record["name"].split(".", 1)[0],
+        }
+        args = dict(record.get("attrs") or {})
+        args["span_id"] = record["id"]
+        args["parent"] = record["parent"]
+        if record.get("status", "ok") != "ok":
+            args["status"] = record["status"]
+        if record.get("error"):
+            args["error"] = record["error"]
+        event["args"] = args
+        events.append(event)
+    metadata = [{"name": "process_name", "ph": "M", "pid": 1,
+                 "args": {"name": process_name}}]
+    for origin, tid in sorted(lanes.items(), key=lambda item: item[1]):
+        metadata.append({"name": "thread_name", "ph": "M", "pid": 1,
+                         "tid": tid,
+                         "args": {"name": origin or "supervisor"}})
+    return {"traceEvents": metadata + events,
+            "displayTimeUnit": "ms"}
+
+
+# -- pstats-style self-profile ----------------------------------------------
+
+
+def aggregate_spans(spans: List[dict]) -> Dict[str, dict]:
+    """Per span name: calls, total (inclusive) and self (exclusive)
+    seconds.  Self time subtracts each span's *direct* children."""
+    child_time: Dict[int, float] = {}
+    for record in spans:
+        parent = record.get("parent", 0)
+        if parent:
+            child_time[parent] = (child_time.get(parent, 0.0)
+                                  + record["dur_s"])
+    rows: Dict[str, dict] = {}
+    for record in spans:
+        row = rows.setdefault(record["name"],
+                              {"calls": 0, "total_s": 0.0, "self_s": 0.0,
+                               "errors": 0})
+        row["calls"] += 1
+        row["total_s"] += record["dur_s"]
+        row["self_s"] += max(0.0, record["dur_s"]
+                             - child_time.get(record["id"], 0.0))
+        if record.get("status", "ok") == "error":
+            row["errors"] += 1
+    return rows
+
+
+def render_profile(spans: List[dict], limit: int = 0) -> str:
+    """The aggregate span table, widest total time first."""
+    rows = aggregate_spans(spans)
+    ordered = sorted(rows.items(),
+                     key=lambda item: (-item[1]["total_s"], item[0]))
+    if limit:
+        ordered = ordered[:limit]
+    lines = [f"{'span':32s} {'calls':>7s} {'total s':>10s} "
+             f"{'self s':>10s} {'mean ms':>9s}"]
+    for name, row in ordered:
+        mean_ms = 1e3 * row["total_s"] / max(1, row["calls"])
+        suffix = f"  ({row['errors']} errors)" if row["errors"] else ""
+        lines.append(f"{name:32s} {row['calls']:>7d} "
+                     f"{row['total_s']:>10.4f} {row['self_s']:>10.4f} "
+                     f"{mean_ms:>9.3f}{suffix}")
+    return "\n".join(lines)
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    """``python -m repro.obs.export trace.jsonl [chrome.json]``:
+    convert a ``--trace`` JSONL file to Chrome trace JSON (and print
+    the aggregate profile table)."""
+    import sys
+    args = sys.argv[1:] if argv is None else argv
+    if not args or args[0] in ("-h", "--help"):
+        print("usage: python -m repro.obs.export trace.jsonl [chrome.json]")
+        return 0 if args else 2
+    trace = read_jsonl(args[0])
+    if len(args) > 1:
+        with open(args[1], "w", encoding="utf-8") as handle:
+            json.dump(to_chrome_trace(trace["spans"]), handle)
+        print(f"wrote {args[1]} ({len(trace['spans'])} spans)")
+    print(render_profile(trace["spans"]))
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

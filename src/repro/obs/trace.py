@@ -1,0 +1,217 @@
+"""Hierarchical tracing: spans with monotonic timing and attributes.
+
+A :class:`Span` is one timed region of work — ``analysis.correlation``
+for one conditional, ``pass.restructure`` for a whole pass — with a
+name, a parent, key=value attributes, and start/end instants taken from
+a monotonic clock (``time.perf_counter``; never wall-clock time, so
+spans are immune to clock steps).  Spans nest: the :class:`Tracer`
+keeps an open-span stack, each new span becomes a child of the span
+open at the time, and the finished spans form a tree that can be
+exported (see :mod:`repro.obs.export`) as JSONL, a Chrome trace, or a
+pstats-style aggregate table.
+
+Exception safety is part of the contract: a span opened with ``with``
+always closes, an exception escaping the body marks the span
+``status="error"`` with the exception text, and a *leaked* child (one
+the instrumented code opened but never closed, e.g. because an
+exception bypassed its ``__exit__``) is force-closed when any ancestor
+closes — the stack can never wedge.
+
+Spans that crossed a process boundary (the batch supervisor's worker
+subprocesses) are re-attached with :meth:`Tracer.adopt`, which remaps
+ids, re-parents the foreign roots, and rebases the foreign clock domain
+onto the local one.
+
+This module never inspects the ambient on/off switch — that lives in
+:mod:`repro.obs` (``obs.span(...)`` returns :data:`NULL_SPAN` when
+tracing is disabled, which is the <2%-overhead fast path).
+"""
+
+from __future__ import annotations
+
+import time
+from typing import Any, Callable, Dict, Iterable, List, Optional
+
+
+class Span:
+    """One timed, attributed region of work inside a :class:`Tracer`."""
+
+    __slots__ = ("_tracer", "span_id", "parent_id", "name", "attrs",
+                 "start_s", "end_s", "status", "error")
+
+    def __init__(self, tracer: "Tracer", span_id: int, parent_id: int,
+                 name: str, attrs: Dict[str, Any]) -> None:
+        self._tracer = tracer
+        self.span_id = span_id
+        self.parent_id = parent_id
+        self.name = name
+        self.attrs = attrs
+        self.start_s = 0.0
+        self.end_s = 0.0
+        self.status = "ok"
+        self.error = ""
+
+    @property
+    def duration_s(self) -> float:
+        """The span's measured duration (0.0 while still open)."""
+        return max(0.0, self.end_s - self.start_s)
+
+    def set(self, **attrs: Any) -> "Span":
+        """Attach (or overwrite) attributes on the open span."""
+        self.attrs.update(attrs)
+        return self
+
+    def __enter__(self) -> "Span":
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> bool:
+        self._tracer.finish(self, exc)
+        return False
+
+    def to_json(self) -> dict:
+        """The span as one JSONL-able record (see docs/OBSERVABILITY.md)."""
+        record = {"id": self.span_id, "parent": self.parent_id,
+                  "name": self.name, "start_s": round(self.start_s, 9),
+                  "dur_s": round(self.duration_s, 9), "status": self.status}
+        if self.error:
+            record["error"] = self.error
+        if self.attrs:
+            record["attrs"] = {k: _jsonable(v)
+                               for k, v in sorted(self.attrs.items())}
+        return record
+
+
+def _jsonable(value: Any) -> Any:
+    """Clamp attribute values to JSON-safe scalars."""
+    if isinstance(value, (bool, int, float, str)) or value is None:
+        return value
+    return str(value)
+
+
+class _NullSpan:
+    """The do-nothing span handed out when tracing is disabled.
+
+    A process-wide singleton: entering, exiting, and ``set`` are all
+    no-ops, so instrumentation sites cost one function call and one
+    attribute probe when observability is off.
+    """
+
+    __slots__ = ()
+
+    def set(self, **attrs: Any) -> "_NullSpan":
+        """No-op attribute setter (disabled-tracing fast path)."""
+        return self
+
+    def __enter__(self) -> "_NullSpan":
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> bool:
+        return False
+
+
+#: The shared disabled-path span; identity-comparable in tests.
+NULL_SPAN = _NullSpan()
+
+
+class Tracer:
+    """Records a tree of :class:`Span`\\ s against a monotonic clock.
+
+    Single-owner by design: one tracer per observability session (the
+    batch supervisor's workers each build their own and the parent
+    adopts the serialized results; see :meth:`adopt`).
+    """
+
+    def __init__(self,
+                 clock: Callable[[], float] = time.perf_counter) -> None:
+        self._clock = clock
+        #: Finished spans, in completion (post-) order.
+        self.spans: List[Span] = []
+        self._stack: List[Span] = []
+        self._next_id = 1
+
+    # -- recording ---------------------------------------------------------
+
+    def span(self, name: str, **attrs: Any) -> Span:
+        """Open a child of the currently open span (or a root)."""
+        parent = self._stack[-1].span_id if self._stack else 0
+        span = Span(self, self._next_id, parent, name, attrs)
+        self._next_id += 1
+        span.start_s = self._clock()
+        self._stack.append(span)
+        return span
+
+    def finish(self, span: Span, exc: Optional[BaseException] = None) -> None:
+        """Close ``span`` (normally via ``with``), force-closing any
+        leaked descendants so the open-span stack cannot wedge."""
+        now = self._clock()
+        if exc is not None:
+            span.status = "error"
+            span.error = f"{type(exc).__name__}: {exc}"
+        while self._stack:
+            open_span = self._stack.pop()
+            if open_span is span:
+                break
+            open_span.end_s = now
+            open_span.status = "leaked"
+            self.spans.append(open_span)
+        span.end_s = now
+        self.spans.append(span)
+
+    def record(self, name: str, start_s: float, end_s: float,
+               parent_id: int = 0, **attrs: Any) -> Span:
+        """Append an already-timed span (used for retrospective spans,
+        e.g. a supervisor attributing a worker attempt it timed)."""
+        span = Span(self, self._next_id, parent_id, name, attrs)
+        self._next_id += 1
+        span.start_s = start_s
+        span.end_s = end_s
+        self.spans.append(span)
+        return span
+
+    @property
+    def current(self) -> Optional[Span]:
+        """The innermost open span, if any."""
+        return self._stack[-1] if self._stack else None
+
+    def now(self) -> float:
+        """The tracer's clock (monotonic seconds)."""
+        return self._clock()
+
+    # -- export & adoption -------------------------------------------------
+
+    def export(self) -> List[dict]:
+        """Every finished span as JSON records, in start order."""
+        return [span.to_json()
+                for span in sorted(self.spans, key=lambda s: (s.start_s,
+                                                              s.span_id))]
+
+    def adopt(self, records: Iterable[dict], parent_id: int = 0,
+              clock_offset_s: float = 0.0, origin: str = "") -> int:
+        """Attach spans exported by *another* tracer (typically a worker
+        subprocess) under ``parent_id``.
+
+        Ids are remapped into this tracer's id space, foreign roots
+        (``parent == 0``) are re-parented to ``parent_id``, every start
+        instant is shifted by ``clock_offset_s`` (the two processes'
+        ``perf_counter`` epochs are unrelated), and ``origin`` is
+        stamped as an attribute so adopted spans stay identifiable.
+        Returns the number of spans adopted.
+        """
+        records = list(records)
+        id_map: Dict[int, int] = {}
+        for record in records:
+            id_map[record["id"]] = self._next_id
+            self._next_id += 1
+        for record in records:
+            attrs = dict(record.get("attrs") or {})
+            if origin:
+                attrs["origin"] = origin
+            span = Span(self, id_map[record["id"]],
+                        id_map.get(record["parent"], parent_id),
+                        record["name"], attrs)
+            span.start_s = record["start_s"] + clock_offset_s
+            span.end_s = span.start_s + record["dur_s"]
+            span.status = record.get("status", "ok")
+            span.error = record.get("error", "")
+            self.spans.append(span)
+        return len(records)

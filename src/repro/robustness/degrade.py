@@ -33,7 +33,7 @@ thing that short-circuits it.
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+from dataclasses import dataclass, field
 from typing import Optional, Tuple
 
 
@@ -129,6 +129,15 @@ class Attempt:
     #: Backoff applied *before* this attempt, in seconds (deterministic
     #: given the batch seed; recorded so journals are self-describing).
     backoff_s: float = 0.0
+    #: Measured attempt telemetry (wall seconds, worker peak RSS in
+    #: KiB).  In-memory only: deliberately excluded from
+    #: :meth:`to_json` — so journal and report bytes stay a pure
+    #: function of the batch definition and seed — and from equality,
+    #: so a live attempt still compares equal to its journal
+    #: round-trip.  Telemetry is persisted to the run directory's
+    #: ``telemetry.jsonl`` sidecar instead.
+    wall_s: float = field(default=0.0, compare=False)
+    peak_rss_kb: int = field(default=0, compare=False)
 
     def to_json(self) -> dict:
         return {"tier": self.tier, "tier_name": self.tier_name,

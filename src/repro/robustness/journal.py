@@ -93,10 +93,12 @@ class Journal:
                       "outcome": outcome.to_json()})
 
     def _append(self, record: dict) -> None:
+        from repro import obs
         assert self._handle is not None, "journal is not open"
         self._handle.write(canonical_json(record) + "\n")
         self._handle.flush()
         os.fsync(self._handle.fileno())
+        obs.add("journal.fsyncs")
 
     def close(self) -> None:
         if self._handle is not None:

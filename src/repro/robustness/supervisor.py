@@ -33,6 +33,9 @@ import zlib
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Sequence, Tuple
 
+import json
+
+from repro import obs
 from repro.errors import SupervisorError
 from repro.robustness import degrade
 from repro.robustness.degrade import (Attempt, HARD_RESULTS, JobOutcome,
@@ -43,6 +46,11 @@ from repro.robustness.journal import Journal
 from repro.robustness.worker import parse_job_source, run_attempt, worker_main
 
 REPORT_NAME = "report.txt"
+#: Per-attempt wall time and peak RSS, one JSON line each.  Advisory
+#: and machine-specific by nature, hence a *sidecar* next to the
+#: journal: ``journal.jsonl`` and ``report.txt`` stay byte-identical
+#: across resumes, the telemetry file does not pretend to.
+TELEMETRY_NAME = "telemetry.jsonl"
 
 
 def job_class_of(name: str) -> str:
@@ -153,6 +161,26 @@ class BatchReport:
     #: Wall time of this supervisor invocation (in-memory only — never
     #: serialized, so journals and report files stay deterministic).
     wall_s: float = 0.0
+    #: Per-attempt telemetry records of *this invocation* (resumed jobs
+    #: contribute nothing — their workers ran in a previous process).
+    #: In-memory mirror of the ``telemetry.jsonl`` sidecar.
+    telemetry: List[dict] = field(default_factory=list)
+
+    def job_telemetry(self) -> Dict[str, dict]:
+        """Aggregate telemetry per job: summed attempt wall seconds and
+        the max peak RSS any attempt's worker reached.  This is what
+        makes a DEGRADED diagnosis actionable — it says whether the job
+        fell down the ladder because it was slow, huge, or both."""
+        rollup: Dict[str, dict] = {}
+        for record in self.telemetry:
+            entry = rollup.setdefault(record["job"],
+                                      {"attempts": 0, "wall_s": 0.0,
+                                       "peak_rss_kb": 0})
+            entry["attempts"] += 1
+            entry["wall_s"] += record.get("wall_s", 0.0)
+            entry["peak_rss_kb"] = max(entry["peak_rss_kb"],
+                                       record.get("peak_rss_kb", 0))
+        return rollup
 
     def status_counts(self) -> Dict[str, int]:
         counts = {STATUS_OK: 0, STATUS_DEGRADED: 0, STATUS_FAILED: 0}
@@ -260,20 +288,29 @@ class BatchSupervisor:
     def run(self) -> BatchReport:
         started = time.monotonic()
         report = BatchReport()
+        self._report = report
         states = self._states = self._prepare(report)
+        self._telemetry_handle = open(
+            os.path.join(self.run_dir, TELEMETRY_NAME),
+            "a" if self.resume else "w", encoding="utf-8")
         try:
-            todo = [s for s in states if not s.done]
-            if todo:
-                if self.options.isolation == "inprocess":
-                    self._run_inprocess(todo)
-                else:
-                    self._run_processes(todo)
-            self._flush_journal()
+            with obs.span("batch.run", jobs=len(states),
+                          resumed=report.resumed_jobs):
+                todo = [s for s in states if not s.done]
+                if todo:
+                    if self.options.isolation == "inprocess":
+                        self._run_inprocess(todo)
+                    else:
+                        self._run_processes(todo)
+                self._flush_journal()
         finally:
             self.journal.close()
+            self._telemetry_handle.close()
         report.outcomes = [s.outcome for s in states]
         report.breaker_opened = sorted(self._breaker_open)
         report.wall_s = time.monotonic() - started
+        for outcome in report.outcomes:
+            obs.add(f"batch.status.{outcome.status.lower()}")
         self._write_report(report)
         return report
 
@@ -332,8 +369,10 @@ class BatchSupervisor:
         pending = list(todo)
         while pending:
             state = pending.pop(0)
-            payload = run_attempt(self._attempt_spec(state))
-            self._classify_structured(state, payload)
+            with obs.span("batch.attempt", job=state.spec.name,
+                          tier=state.tier):
+                payload = run_attempt(self._attempt_spec(state))
+                self._classify_structured(state, payload)
             if state.done:
                 self._flush_journal()
             else:
@@ -411,16 +450,22 @@ class BatchSupervisor:
                 "memory_mb": opts.memory_mb,
                 "inject": state.spec.inject,
                 "faults": list(state.spec.faults),
-                "strict": state.spec.strict}
+                "strict": state.spec.strict,
+                # Workers trace only when the supervisor itself runs
+                # under an observability session (their spans get
+                # adopted back into it on collection).
+                "trace": obs.enabled()}
 
     # -- attempt classification & the ladder -------------------------------
 
     def _collect(self, worker: _Running) -> None:
         """Turn one finished/killed worker into an attempt verdict."""
         worker.process.join(0.1)
+        elapsed_s = worker.deadline.elapsed()
         payload = self._read_result(worker.result_path)
         if payload is not None:
-            self._classify_structured(worker.state, payload)
+            self._classify_structured(worker.state, payload,
+                                      supervisor_wall_s=elapsed_s)
             return
         exitcode = worker.process.exitcode
         if worker.killed_on_timeout:
@@ -433,7 +478,16 @@ class BatchSupervisor:
             result, detail = "crash", f"worker exited with code {exitcode}"
         else:
             result, detail = "no-result", "worker exited without a result"
+        before = len(worker.state.attempts)
         self._record_failure(worker.state, result, detail)
+        # A hard death leaves no worker-side telemetry; the supervisor's
+        # own wall clock for the attempt is the best available account.
+        attempt = (worker.state.attempts[before]
+                   if len(worker.state.attempts) > before else None)
+        self._note_telemetry(worker.state, attempt, before,
+                             wall_s=elapsed_s, peak_rss_kb=0)
+        self._record_attempt_span(worker.state, attempt, elapsed_s,
+                                  spans=None, metrics=None)
 
     @staticmethod
     def _read_result(result_path: str) -> Optional[dict]:
@@ -447,7 +501,35 @@ class BatchSupervisor:
             return None          # torn result == no result (atomic rename
                                  # makes this unreachable in practice)
 
-    def _classify_structured(self, state: _JobState, payload: dict) -> None:
+    def _classify_structured(self, state: _JobState, payload: dict,
+                             supervisor_wall_s: Optional[float] = None,
+                             ) -> None:
+        """Strip the observability side channels off ``payload``, then
+        classify the deterministic remainder.
+
+        Telemetry, spans, and metrics are accounting only — they may
+        never influence the verdict, the ladder, or the journal bytes.
+        ``supervisor_wall_s`` is set for subprocess attempts (used to
+        place the adopted worker trace on the supervisor's clock); it is
+        ``None`` for in-process attempts, whose spans already live in
+        the ambient session.
+        """
+        telemetry = payload.pop("telemetry", None) or {}
+        spans = payload.pop("spans", None)
+        metrics = payload.pop("metrics", None)
+        before = len(state.attempts)
+        self._dispatch_structured(state, payload)
+        attempt = (state.attempts[before]
+                   if len(state.attempts) > before else None)
+        wall_s = float(telemetry.get("wall_s", supervisor_wall_s or 0.0))
+        self._note_telemetry(state, attempt, before, wall_s=wall_s,
+                             peak_rss_kb=int(telemetry.get("peak_rss_kb", 0)))
+        if supervisor_wall_s is not None:
+            self._record_attempt_span(state, attempt, supervisor_wall_s,
+                                      spans=spans, metrics=metrics)
+
+    def _dispatch_structured(self, state: _JobState, payload: dict) -> None:
+        """Classify one structured (non-hard-death) worker payload."""
         tier = degrade.tier(state.tier)
         if payload.get("ok"):
             state.attempts.append(Attempt(
@@ -523,6 +605,57 @@ class BatchSupervisor:
 
     def _breaker_success(self, job_class: str) -> None:
         self._breaker[job_class] = 0
+
+    # -- observability accounting (never affects outcomes) -----------------
+
+    def _note_telemetry(self, state: _JobState, attempt: Optional[Attempt],
+                        attempt_index: int, wall_s: float,
+                        peak_rss_kb: int) -> None:
+        """Record one attempt's measured wall time and peak RSS: on the
+        in-memory :class:`Attempt`, in the report, and in the
+        ``telemetry.jsonl`` sidecar — never in the journal."""
+        if attempt is not None:
+            attempt.wall_s = wall_s
+            attempt.peak_rss_kb = peak_rss_kb
+        record = {"job": state.spec.name, "index": state.index,
+                  "attempt": attempt_index,
+                  "tier": attempt.tier if attempt else state.tier,
+                  "result": attempt.result if attempt else "?",
+                  "wall_s": round(wall_s, 6),
+                  "peak_rss_kb": peak_rss_kb}
+        self._report.telemetry.append(record)
+        handle = getattr(self, "_telemetry_handle", None)
+        if handle is not None and not handle.closed:
+            handle.write(json.dumps(record, sort_keys=True) + "\n")
+            handle.flush()
+        obs.add("batch.attempts")
+
+    def _record_attempt_span(self, state: _JobState,
+                             attempt: Optional[Attempt], wall_s: float,
+                             spans, metrics) -> None:
+        """Retroactively place a finished subprocess attempt into the
+        supervisor's trace, adopting the worker's own spans (id-remapped,
+        re-parented, clock-rebased) underneath it."""
+        session = obs.current()
+        if session is None:
+            return
+        tracer = session.tracer
+        end_s = tracer.now()
+        start_s = end_s - max(0.0, wall_s)
+        parent = (tracer.current.span_id
+                  if tracer.current is not None else 0)
+        span = tracer.record(
+            "batch.attempt", start_s, end_s, parent_id=parent,
+            job=state.spec.name,
+            tier=attempt.tier if attempt else state.tier,
+            result=attempt.result if attempt else "?")
+        if spans:
+            offset = start_s - min(r["start_s"] for r in spans)
+            tracer.adopt(spans, parent_id=span.span_id,
+                         clock_offset_s=offset,
+                         origin=f"worker:{state.spec.name}")
+        if metrics:
+            session.metrics.merge(metrics)
 
     # -- outcomes & persistence -------------------------------------------
 

@@ -8,7 +8,10 @@ SIGKILLed, and reports through an **atomically renamed** JSON result
 file — so the supervisor either sees a complete structured result or no
 result at all, never a torn one.
 
-Result protocol (all fields deterministic — no timings, no pids):
+Result protocol (every field the supervisor may journal is
+deterministic — no timings, no pids; the ``telemetry``/``spans``/
+``metrics`` side-channel fields are the explicit exception and are
+stripped by the supervisor before journaling):
 
 - success: ``{"ok": true, "tier": i, "verify_ok": true, "diff_ok":
   true, "counts": {...}}``
@@ -32,9 +35,11 @@ from __future__ import annotations
 import json
 import os
 import signal
+import sys
 import time
 from typing import Optional, Tuple
 
+from repro import obs
 from repro.errors import ReproError, error_context
 from repro.interp.workload import Workload
 from repro.ir import lower_program, verify_icfg
@@ -167,13 +172,59 @@ def _fault_plan(spec: dict) -> Optional[FaultPlan]:
                                 seed=f.get("seed", 0)) for f in specs])
 
 
+def _peak_rss_kb() -> int:
+    """This process's lifetime peak resident set size, in KiB.
+
+    ``ru_maxrss`` is KiB on Linux and bytes on macOS; normalize to KiB.
+    Returns 0 where ``resource`` is unavailable (non-POSIX).
+    """
+    try:
+        import resource
+    except ImportError:
+        return 0
+    peak = resource.getrusage(resource.RUSAGE_SELF).ru_maxrss
+    if sys.platform == "darwin":
+        peak //= 1024
+    return int(peak)
+
+
 def run_attempt(spec: dict) -> dict:
     """Execute one (job, tier) attempt; returns the result payload.
 
     Never raises for job-level problems: every failure is folded into a
     structured ``ok: false`` payload (the supervisor decides what it
     means for the ladder).
+
+    On top of the deterministic result fields the payload carries a
+    ``telemetry`` dict (attempt wall seconds, the worker process's peak
+    RSS in KiB) and — when ``spec["trace"]`` asks for it — ``spans``
+    and ``metrics`` from the worker's own observability session.  The
+    supervisor strips all three before anything reaches the journal,
+    which is what keeps journal bytes deterministic.
     """
+    started = time.monotonic()
+    if spec.get("trace") and not obs.enabled():
+        # Subprocess case: trace into a private session and serialize
+        # it for the supervisor to adopt.  (In-process attempts find
+        # the supervisor's session already active and just inherit it —
+        # their spans parent naturally, so nothing is exported.)
+        with obs.session() as active:
+            with obs.span("worker.attempt", job=spec.get("job", ""),
+                          tier=spec.get("tier", 0)):
+                payload = _attempt_payload(spec)
+            payload["spans"] = active.export_spans()
+            payload["metrics"] = active.metrics.snapshot()
+    else:
+        payload = _attempt_payload(spec)
+    payload["telemetry"] = {
+        "wall_s": round(time.monotonic() - started, 6),
+        "peak_rss_kb": _peak_rss_kb(),
+    }
+    return payload
+
+
+def _attempt_payload(spec: dict) -> dict:
+    """The attempt itself: load, optimize at the tier, validate."""
     tier = degrade.tier(spec["tier"])
     try:
         _run_injection(spec.get("inject"), tier.index, spec.get("memory_mb"))
@@ -235,6 +286,8 @@ def worker_main(spec: dict, result_path: str) -> None:
     Anything that escapes (a true crash) leaves no result file, which
     the supervisor reads as a hard failure.
     """
+    obs.reset()          # a forked child must not append to the
+                         # supervisor's observability session
     _apply_rlimits(spec.get("memory_mb"))
     _arm_orphan_backstop(spec.get("timeout_s"))
     payload = run_attempt(spec)

@@ -50,6 +50,7 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Dict, FrozenSet, List, Optional, Set
 
+from repro import obs
 from repro.analysis.context import AnalysisContext
 from repro.analysis.driver import analyze_branch
 from repro.errors import DifferentialMismatch
@@ -88,6 +89,7 @@ class PipelineState:
     # -- snapshot discipline -------------------------------------------------
 
     def fresh_snapshot(self) -> ICFGSnapshot:
+        obs.add("transform.snapshots_taken")
         self.snapshot = ICFGSnapshot.take(self.current)
         return self.snapshot
 
@@ -112,6 +114,7 @@ class PipelineState:
                 and self.current.generation == snapshot.generation):
             self.context.stats.restores_elided += 1
             return
+        obs.add("transform.rollbacks")
         self.current = snapshot.restore()
         self.context.rollback(self.current)
 
@@ -141,7 +144,8 @@ class PassManager:
 
     def run(self, state: PipelineState) -> PipelineState:
         for pass_ in self.passes:
-            pass_.run(state)
+            with obs.span(f"pass.{pass_.name}"):
+                pass_.run(state)
         return state
 
 
@@ -178,6 +182,11 @@ class RestructurePass(Pass):
         return [bid for bid in ids if bid not in state.done]
 
     def _transact(self, state: PipelineState, branch_id: int) -> None:
+        with obs.span("transform.branch", branch=branch_id) as obs_span:
+            self._transact_traced(state, branch_id, obs_span)
+
+    def _transact_traced(self, state: PipelineState, branch_id: int,
+                         obs_span) -> None:
         from repro.transform.pipeline import BranchRecord
 
         opts = state.options
@@ -214,6 +223,8 @@ class RestructurePass(Pass):
                 failure=f"{type(failure).__name__}: {failure}"))
             optimizer._diagnose(state.report, branch_id, "restructure",
                                 exc=failure, icfg=state.current)
+            obs_span.set(outcome=BranchOutcome.FAILED.value)
+            obs.add("transform.outcome.failed")
             return
 
         record = optimizer._record(result)
@@ -244,6 +255,14 @@ class RestructurePass(Pass):
             # fault-free case skips the copy when the cache is on).
             state.restore(snapshot)
         state.report.records.append(record)
+        obs_span.set(outcome=record.outcome.value)
+        obs.add(f"transform.outcome.{record.outcome.value}")
+        if adopted:
+            obs.add("transform.branches_eliminated",
+                    record.eliminated_copies)
+            obs.observe("transform.node_growth", record.node_growth)
+            obs.observe("transform.duplication_bound",
+                        record.duplication_bound)
 
     def _attempt(self, state: PipelineState, branch_id: int,
                  snapshot: ICFGSnapshot) -> RestructureResult:

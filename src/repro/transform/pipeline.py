@@ -39,6 +39,7 @@ import time
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional
 
+from repro import obs
 from repro.analysis.config import AnalysisConfig
 from repro.analysis.context import AnalysisContext, CacheStats
 from repro.errors import DifferentialMismatch, ReproError
@@ -235,7 +236,10 @@ class ICBEOptimizer:
                               report=report, context=context, origin=origin,
                               gate_profile=gate_profile,
                               growth_cap=growth_cap)
-        state = build_default_pipeline().run(state)
+        with obs.span("optimize", nodes=report.nodes_before,
+                      conditionals=report.conditionals_before,
+                      tier=opts.tier_name):
+            state = build_default_pipeline().run(state)
         current = state.current
 
         report.optimized = current
@@ -244,7 +248,27 @@ class ICBEOptimizer:
         report.executable_after = current.executable_node_count()
         report.conditionals_after = current.conditional_node_count()
         report.elapsed_seconds = time.perf_counter() - started
+        self._publish_metrics(report)
         return report
+
+    @staticmethod
+    def _publish_metrics(report: "OptimizationReport") -> None:
+        """Feed the run's report counters (and the analysis context's
+        cache counters) into the active metrics registry.  Everything
+        published here is deterministic — derived from the work done,
+        never from how long it took."""
+        if not obs.enabled():
+            return
+        obs.add("optimize.runs")
+        obs.add("optimize.conditionals_before", report.conditionals_before)
+        obs.add("optimize.optimized", report.optimized_count)
+        obs.add("optimize.failed", report.failed_count)
+        obs.add("optimize.rolled_back", report.rolled_back_count)
+        obs.add("optimize.pairs_examined", report.total_pairs_examined())
+        obs.gauge("optimize.nodes_before", report.nodes_before)
+        obs.gauge("optimize.nodes_after", report.nodes_after)
+        obs.gauge("optimize.node_growth", report.node_growth)
+        report.cache.publish()
 
     # -- transactional phases ------------------------------------------------
 

@@ -1,0 +1,87 @@
+"""Exporters: JSONL round-trip, Chrome trace shape, profile table."""
+
+import json
+
+from repro import obs
+from repro.obs.export import (TRACE_SCHEMA_VERSION, aggregate_spans,
+                              read_jsonl, render_profile, to_chrome_trace,
+                              write_jsonl)
+
+
+def _session_with_work():
+    with obs.session() as active:
+        with obs.span("outer", proc="main"):
+            with obs.span("inner"):
+                pass
+        obs.add("things", 3)
+    return active
+
+
+def test_jsonl_roundtrip(tmp_path):
+    active = _session_with_work()
+    path = str(tmp_path / "trace.jsonl")
+    active.write_jsonl(path, meta={"command": "test"})
+
+    lines = [json.loads(line)
+             for line in open(path, encoding="utf-8")]
+    assert lines[0]["type"] == "trace"
+    assert lines[0]["version"] == TRACE_SCHEMA_VERSION
+    assert lines[0]["meta"] == {"command": "test"}
+    assert [r["name"] for r in lines if r["type"] == "span"] == [
+        "outer", "inner"]
+    assert lines[-1]["type"] == "metrics"
+
+    data = read_jsonl(path)
+    assert data["meta"] == {"command": "test"}
+    assert len(data["spans"]) == 2
+    assert data["metrics"]["counters"]["things"] == 3
+
+
+def test_chrome_trace_shape():
+    active = _session_with_work()
+    chrome = to_chrome_trace(active.export_spans(), process_name="icbe")
+    events = chrome["traceEvents"]
+    complete = [e for e in events if e["ph"] == "X"]
+    metadata = [e for e in events if e["ph"] == "M"]
+    assert len(complete) == 2
+    assert metadata, "process/thread metadata events expected"
+    for event in complete:
+        assert set(event) >= {"name", "ph", "ts", "dur", "pid", "tid"}
+        assert event["ts"] >= 0          # rebased to the earliest span
+        assert event["dur"] >= 0
+    assert chrome["displayTimeUnit"] == "ms"
+    # Spans with distinct origins land in distinct lanes.
+    lanes = {e["tid"] for e in complete}
+    assert len(lanes) == 1               # same origin here
+
+
+def test_chrome_trace_lanes_follow_origin():
+    tracer = obs.Tracer()
+    tracer.record("a", 0.0, 1.0)
+    tracer.record("b", 0.0, 1.0, origin="worker:li")
+    complete = [e for e in to_chrome_trace(tracer.export())["traceEvents"]
+                if e["ph"] == "X"]
+    assert len({e["tid"] for e in complete}) == 2
+
+
+def test_aggregate_and_profile_table():
+    active = _session_with_work()
+    rows = aggregate_spans(active.export_spans())
+    assert rows["outer"]["calls"] == 1
+    # Self time excludes the direct child's duration.
+    assert rows["outer"]["self_s"] <= rows["outer"]["total_s"]
+    table = render_profile(active.export_spans())
+    assert "span" in table.splitlines()[0]
+    assert "outer" in table and "inner" in table
+
+
+def test_export_cli_converts_to_chrome(tmp_path, capsys):
+    from repro.obs.export import main
+
+    active = _session_with_work()
+    trace = str(tmp_path / "t.jsonl")
+    chrome = str(tmp_path / "t.json")
+    active.write_jsonl(trace)
+    assert main([trace, chrome]) == 0
+    data = json.load(open(chrome, encoding="utf-8"))
+    assert any(e["ph"] == "X" for e in data["traceEvents"])

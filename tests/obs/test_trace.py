@@ -1,0 +1,121 @@
+"""Hierarchical spans: nesting, exception safety, adoption."""
+
+import pytest
+
+from repro import obs
+from repro.obs.trace import NULL_SPAN, Tracer
+
+
+def test_spans_nest_by_stack_discipline():
+    tracer = Tracer()
+    with tracer.span("outer") as outer:
+        with tracer.span("inner") as inner:
+            assert inner.parent_id == outer.span_id
+        with tracer.span("sibling") as sibling:
+            assert sibling.parent_id == outer.span_id
+    assert outer.parent_id == 0
+    # spans finish inner-first; export() restores start order.
+    assert [s["name"] for s in tracer.export()] == [
+        "outer", "inner", "sibling"]
+
+
+def test_span_times_are_monotonic_and_closed():
+    tracer = Tracer()
+    with tracer.span("a") as span:
+        pass
+    assert span.end_s is not None
+    assert span.duration_s >= 0.0
+    assert span.status == "ok"
+
+
+def test_span_attributes_at_open_and_via_set():
+    tracer = Tracer()
+    with tracer.span("a", proc="main") as span:
+        span.set(nodes=5)
+    record = span.to_json()
+    assert record["attrs"] == {"proc": "main", "nodes": 5}
+
+
+def test_exception_marks_span_as_error_and_propagates():
+    tracer = Tracer()
+    with pytest.raises(ValueError):
+        with tracer.span("outer"):
+            with tracer.span("inner"):
+                raise ValueError("boom")
+    statuses = {s.name: s.status for s in tracer.spans}
+    assert statuses == {"outer": "error", "inner": "error"}
+    errors = {s.name: s.error for s in tracer.spans}
+    assert "boom" in errors["inner"]
+
+
+def test_leaked_descendants_are_force_closed():
+    tracer = Tracer()
+    outer = tracer.span("outer")
+    tracer.span("leaked")          # never finished by its opener
+    tracer.finish(outer)
+    by_name = {s.name: s for s in tracer.spans}
+    assert by_name["leaked"].status == "leaked"
+    assert by_name["leaked"].end_s is not None
+    assert tracer.current is None
+
+
+def test_retrospective_record():
+    tracer = Tracer()
+    span = tracer.record("late", 1.0, 3.5, job="x")
+    assert span.duration_s == pytest.approx(2.5)
+    assert tracer.export()[0]["name"] == "late"
+
+
+def test_adopt_remaps_reparents_and_rebases():
+    worker = Tracer()
+    with worker.span("worker.attempt"):
+        with worker.span("optimize"):
+            pass
+    records = worker.export()
+
+    host = Tracer()
+    parent = host.record("batch.attempt", 100.0, 101.0)
+    adopted = host.adopt(records, parent_id=parent.span_id,
+                         clock_offset_s=50.0, origin="worker:li")
+    assert adopted == 2
+    by_name = {s.name: s for s in host.spans}
+    root = by_name["worker.attempt"]
+    child = by_name["optimize"]
+    # Foreign root re-parented under the host span; child under root.
+    assert root.parent_id == parent.span_id
+    assert child.parent_id == root.span_id
+    # Ids live in the host's id space (no collision with parent).
+    assert len({s.span_id for s in host.spans}) == 3
+    # Clock rebased by the offset.
+    assert root.start_s == pytest.approx(records[0]["start_s"] + 50.0)
+    assert root.attrs["origin"] == "worker:li"
+
+
+def test_null_span_is_inert():
+    assert obs.span("anything") is NULL_SPAN
+    with obs.span("anything") as span:
+        span.set(ignored=1)        # must not raise
+
+
+def test_sessions_do_not_nest():
+    with obs.session():
+        with pytest.raises(RuntimeError):
+            with obs.session():
+                pass
+
+
+def test_suspended_restores_the_active_session():
+    with obs.session() as active:
+        with obs.suspended():
+            assert not obs.enabled()
+            with obs.session() as inner:
+                assert obs.current() is inner
+        assert obs.current() is active
+
+
+def test_module_level_span_routes_to_active_session():
+    with obs.session() as active:
+        with obs.span("analysis.correlation", branch=3) as span:
+            assert span is not NULL_SPAN
+    assert [s["name"] for s in active.export_spans()] == [
+        "analysis.correlation"]
