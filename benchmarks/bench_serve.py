@@ -1,0 +1,215 @@
+"""Serve-daemon load drill at suite scale, with chaos.
+
+Stands up a real ``icbe serve`` daemon (4 resident workers) and drives
+it the way an impatient client fleet would:
+
+- **throughput**: the six-benchmark suite at scale 8 plus duplicate
+  submissions (coalesced) and ad-hoc programs, all polled concurrently;
+  reports jobs/sec and the p50/p99 submit→done latency;
+- **chaos**: a crash-injected job must land DEGRADED one tier down with
+  the pool healed; a SIGKILL of the daemon mid-queue, followed by a
+  restart on the same run directory, must finish every admitted job
+  under its original id — zero lost or corrupted results;
+- **cache**: resubmitting a completed program is answered from the
+  content-addressed cache without a new job.
+
+Run:  pytest benchmarks/bench_serve.py --benchmark-only -s
+"""
+
+import concurrent.futures
+import os
+import shutil
+import signal
+import subprocess
+import sys
+import tempfile
+import time
+
+from repro.benchgen.suite import benchmark_names
+from repro.serve.client import ServeClient
+from repro.utils.tables import render_table
+
+SCALE = 8
+WORKERS = 4
+ATTEMPT_TIMEOUT_S = 180.0
+JOB_WAIT_S = 600.0
+
+ADHOC_TEMPLATE = """
+proc classify(v) {{
+    if (v <= 0) {{ return 0; }}
+    if (v > {pivot}) {{ if (v > {pivot}) {{ print {pivot}; }} }}
+    return v;
+}}
+proc main() {{
+    var r = classify(input());
+    print r;
+    return 0;
+}}
+"""
+
+
+def _spawn_daemon(run_dir):
+    env = dict(os.environ,
+               PYTHONPATH=os.path.join(os.path.dirname(__file__), "..",
+                                       "src"))
+    process = subprocess.Popen(
+        [sys.executable, "-m", "repro.cli", "serve", "--port", "0",
+         "--workers", str(WORKERS), "--run-dir", run_dir,
+         "--timeout", str(ATTEMPT_TIMEOUT_S), "--drain-grace", "10",
+         "--seed", "2026"],
+        env=env, stdout=subprocess.DEVNULL, stderr=subprocess.PIPE)
+    deadline = time.monotonic() + 60.0
+    while time.monotonic() < deadline:
+        if process.poll() is not None:
+            raise AssertionError("daemon died on startup: "
+                                 + process.stderr.read().decode())
+        try:
+            client = ServeClient.from_run_dir(run_dir, timeout_s=45.0)
+            if client.readyz()[0] == 200 and _pid_matches(run_dir, process):
+                return process, client
+        except Exception:
+            pass
+        time.sleep(0.05)
+    raise AssertionError("daemon never became ready")
+
+
+def _pid_matches(run_dir, process):
+    from repro.serve.app import read_discovery
+    info = read_discovery(run_dir)
+    return info is not None and info.get("pid") == process.pid
+
+
+def _submit_and_wait(client, body):
+    started = time.monotonic()
+    status, payload, _ = client.submit(**body)
+    assert status in (200, 202), (status, payload)
+    if status == 200:            # cache hit: answered in one round trip
+        return {"id": None, "latency_s": time.monotonic() - started,
+                "result": payload["result"], "cached": True}
+    final = client.wait(payload["id"], timeout_s=JOB_WAIT_S)
+    return {"id": payload["id"],
+            "latency_s": time.monotonic() - started,
+            "result": final["result"],
+            "cached": False,
+            "coalesced": bool(final["result"].get("coalesced"))}
+
+
+def _live_workers(client):
+    return sum(1 for worker in client.stats()["workers"]
+               if worker["state"] != "dead")
+
+
+def _quantile(sorted_values, q):
+    if not sorted_values:
+        return 0.0
+    index = min(len(sorted_values) - 1,
+                int(round(q * (len(sorted_values) - 1))))
+    return sorted_values[index]
+
+
+def load_drill():
+    scratch = tempfile.mkdtemp(prefix="icbe-bench-serve-")
+    run_dir = os.path.join(scratch, "run")
+    summary = {}
+    process = None
+    try:
+        process, client = _spawn_daemon(run_dir)
+
+        # -- phase 1: throughput over suite + duplicates + ad-hoc -----
+        bodies = [{"suite": f"{name}@{SCALE}"}
+                  for name in benchmark_names()]
+        bodies += [{"suite": f"{name}@{SCALE}"}
+                   for name in benchmark_names()]      # coalesce fodder
+        bodies += [{"source": ADHOC_TEMPLATE.format(pivot=p)}
+                   for p in (3, 5, 7, 11)]
+        started = time.monotonic()
+        with concurrent.futures.ThreadPoolExecutor(len(bodies)) as pool:
+            outcomes = list(pool.map(
+                lambda body: _submit_and_wait(client, body), bodies))
+        elapsed = time.monotonic() - started
+        assert all(o["result"]["status"] == "OK" for o in outcomes), (
+            [o["result"] for o in outcomes if o["result"]["status"] != "OK"])
+        coalesced = sum(1 for o in outcomes if o.get("coalesced"))
+        assert coalesced >= 1, "duplicate submissions never coalesced"
+        latencies = sorted(o["latency_s"] for o in outcomes)
+        summary.update({
+            "jobs": len(outcomes),
+            "wall_s": elapsed,
+            "jobs_per_s": len(outcomes) / elapsed,
+            "p50_s": _quantile(latencies, 0.50),
+            "p99_s": _quantile(latencies, 0.99),
+            "coalesced": coalesced,
+        })
+
+        # -- phase 2: worker chaos — crash-inject, expect healing -----
+        status, payload, _ = client.submit(
+            source=ADHOC_TEMPLATE.format(pivot=13),
+            inject={"kind": "crash", "tiers": [0]})
+        assert status == 202, payload
+        chaotic = client.wait(payload["id"], timeout_s=JOB_WAIT_S)
+        assert chaotic["result"]["status"] == "DEGRADED", chaotic
+        assert chaotic["result"]["tier"] == 1
+        deadline = time.monotonic() + 60.0
+        while time.monotonic() < deadline:
+            if _live_workers(client) >= WORKERS:
+                break
+            time.sleep(0.2)
+        assert _live_workers(client) >= WORKERS, (
+            "pool never healed after the injected crash")
+
+        # -- phase 3: daemon chaos — SIGKILL mid-queue, restart -------
+        completed_before = client.stats()["jobs"]["completed"]
+        pending = []
+        for pivot in range(20, 36):  # fresh keys, deeper than the pool
+            status, payload, _ = client.submit(
+                source=ADHOC_TEMPLATE.format(pivot=pivot))
+            assert status == 202, payload
+            pending.append(payload["id"])
+        while client.stats()["jobs"]["completed"] == completed_before:
+            time.sleep(0.05)     # let at least one finish first
+        process.kill()
+        process.wait(timeout=30)
+        process, client = _spawn_daemon(run_dir)
+        recovered = client.stats()["jobs"]["recovered"]
+        with concurrent.futures.ThreadPoolExecutor(len(pending)) as pool:
+            finals = list(pool.map(
+                lambda jid: client.wait(jid, timeout_s=JOB_WAIT_S),
+                pending))
+        assert all(f["result"]["status"] == "OK" for f in finals), (
+            "results lost or corrupted across the SIGKILL")
+        summary["killed_recovered"] = recovered
+
+        # -- phase 4: content-addressed cache across everything -------
+        status, payload, _ = client.submit(
+            source=ADHOC_TEMPLATE.format(pivot=3))
+        assert status == 200 and payload["cached"] is True, payload
+        summary["cache_entries"] = client.stats()["cache"]["entries"]
+
+        client.drain()
+        process.wait(timeout=60)
+        process = None
+        return summary
+    finally:
+        if process is not None and process.poll() is None:
+            process.kill()
+            process.wait(timeout=30)
+        shutil.rmtree(scratch, ignore_errors=True)
+
+
+def test_serve_load_drill(benchmark):
+    summary = benchmark.pedantic(load_drill, rounds=1, iterations=1)
+    rows = [
+        ["jobs completed (phase 1)", summary["jobs"]],
+        ["throughput", f"{summary['jobs_per_s']:.2f} jobs/s"],
+        ["latency p50", f"{summary['p50_s']:.2f} s"],
+        ["latency p99", f"{summary['p99_s']:.2f} s"],
+        ["coalesced duplicates", summary["coalesced"]],
+        ["jobs recovered after SIGKILL", summary["killed_recovered"]],
+        ["cache entries", summary["cache_entries"]],
+    ]
+    print()
+    print(render_table(["metric", "value"], rows,
+                       title=f"icbe serve under load "
+                             f"(suite x{SCALE}, {WORKERS} workers)"))
+    assert summary["jobs_per_s"] > 0
+    assert summary["killed_recovered"] >= 1

@@ -9,6 +9,7 @@ Subcommands::
     icbe predict <file.mc> [--intra]          static prediction hints
     icbe inline <file.mc> [options]           exhaustive pre-pass inlining
     icbe batch <job>... [--jobs N] [--resume DIR]  crash-isolated batch runs
+    icbe serve [--port N] [--workers K]       long-lived optimization daemon
     icbe experiment <name>                    run a paper experiment
 
 Every subcommand accepts ``suite:<name>[@scale]`` benchmark references
@@ -225,6 +226,26 @@ def cmd_batch(args: argparse.Namespace) -> int:
     return 1 if report.failed_jobs else 0
 
 
+def cmd_serve(args: argparse.Namespace) -> int:
+    """``icbe serve``: the long-lived optimization daemon."""
+    from repro.serve.app import run_daemon
+    from repro.serve.config import ServeOptions
+
+    options = ServeOptions(
+        host=args.host, port=args.port, run_dir=args.run_dir,
+        workers=args.workers, max_jobs_per_worker=args.max_jobs_per_worker,
+        rss_watermark_kb=args.rss_watermark_kb,
+        heartbeat_timeout_s=args.heartbeat_timeout,
+        queue_limit=args.queue_limit,
+        rate_capacity=args.rate_burst, rate_refill_per_s=args.rate,
+        timeout_s=args.timeout, default_deadline_s=args.deadline,
+        drain_grace_s=args.drain_grace, seed=args.seed,
+        breaker_threshold=args.breaker, budget=args.budget,
+        duplication_limit=args.limit, diff_check=not args.no_diff_check,
+        memory_mb=args.memory_mb)
+    return run_daemon(options)
+
+
 def cmd_experiment(args: argparse.Namespace) -> int:
     """``icbe experiment``: run one paper experiment."""
     from repro.harness.__main__ import main as harness_main
@@ -370,6 +391,61 @@ def build_parser() -> argparse.ArgumentParser:
                               "(repeatable; deterministic given --seed)")
     batch_p.set_defaults(func=cmd_batch)
 
+    serve_p = add_parser(
+        "serve", help="run the long-lived optimization service "
+                      "(HTTP/JSON API, resident worker pool, admission "
+                      "control, graceful drain; see docs/SERVING.md)")
+    serve_p.add_argument("--host", default="127.0.0.1",
+                         help="listen address (default: 127.0.0.1)")
+    serve_p.add_argument("--port", type=int, default=8420,
+                         help="listen port; 0 binds an ephemeral port, "
+                              "published in <run-dir>/serve.json")
+    serve_p.add_argument("--workers", type=int, default=2, metavar="K",
+                         help="resident optimization workers")
+    serve_p.add_argument("--run-dir", default="icbe-serve", metavar="DIR",
+                         help="journal, result cache, program spool, and "
+                              "discovery file (default: ./icbe-serve); "
+                              "restarting here recovers journaled jobs")
+    serve_p.add_argument("--queue-limit", type=int, default=64,
+                         help="refuse submissions beyond this queue depth "
+                              "(HTTP 429 + Retry-After)")
+    serve_p.add_argument("--rate", type=float, default=10.0, metavar="R",
+                         help="sustained per-client submissions/second")
+    serve_p.add_argument("--rate-burst", type=float, default=30.0,
+                         metavar="B", help="per-client burst capacity")
+    serve_p.add_argument("--timeout", type=float, default=60.0, metavar="S",
+                         help="per-attempt wall clock; a longer attempt "
+                              "is killed and the job descends the ladder")
+    serve_p.add_argument("--deadline", type=float, default=300.0,
+                         metavar="S", help="default per-request deadline "
+                         "(queue wait + all attempts)")
+    serve_p.add_argument("--drain-grace", type=float, default=10.0,
+                         metavar="S", help="how long in-flight attempts "
+                         "may finish after SIGTERM before checkpointing")
+    serve_p.add_argument("--max-jobs-per-worker", type=int, default=64,
+                         help="recycle a worker after this many jobs")
+    serve_p.add_argument("--rss-watermark-kb", type=int, default=1_048_576,
+                         help="recycle a worker whose peak RSS crossed "
+                              "this watermark (KiB)")
+    serve_p.add_argument("--heartbeat-timeout", type=float, default=10.0,
+                         metavar="S", help="kill + respawn a worker "
+                         "silent for this long")
+    serve_p.add_argument("--seed", type=int, default=0,
+                         help="seed for backoff jitter and differential "
+                              "workloads")
+    serve_p.add_argument("--breaker", type=int, default=5, metavar="K",
+                         help="open a job class's circuit breaker after K "
+                              "consecutive hard worker deaths")
+    serve_p.add_argument("--memory-mb", type=int, default=512, metavar="MB",
+                         help="per-worker address-space cap")
+    serve_p.add_argument("--budget", type=int, default=1000,
+                         help="node-query-pair analysis budget")
+    serve_p.add_argument("--limit", type=int, default=100,
+                         help="per-conditional duplication limit")
+    serve_p.add_argument("--no-diff-check", action="store_true",
+                         help="skip per-job differential validation")
+    serve_p.set_defaults(func=cmd_serve)
+
     exp_p = add_parser("experiment", help="run a paper experiment")
     exp_p.add_argument("name",
                        help="table1|table2|fig9|fig10|fig11|headline|all")
@@ -415,11 +491,17 @@ def main(argv: Optional[List[str]] = None) -> int:
     stderr (plus the exception's structured context, if any), never a
     traceback.  Internal bugs still raise so they stay loud.
     """
-    from repro.errors import ReproError, error_context
+    from repro.errors import ReproError, SupervisorDrained, error_context
 
     args = build_parser().parse_args(argv)
     try:
         return _invoke(args)
+    except SupervisorDrained as drained:
+        # A graceful signal-initiated drain is not an operator error:
+        # exit with the conventional 128+signum so process managers see
+        # a clean signal exit (130 for SIGINT, 143 for SIGTERM).
+        print(f"icbe: {drained}", file=sys.stderr)
+        return drained.exit_code
     except (ReproError, OSError) as failure:
         if getattr(args, "traceback", False):
             raise

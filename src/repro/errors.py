@@ -130,3 +130,33 @@ class SupervisorError(ReproError):
     directory — never for per-job failures, which become structured
     ``FAILED`` outcomes instead.
     """
+
+
+class SupervisorDrained(ReproError):
+    """A batch run was interrupted by SIGTERM/SIGINT and drained.
+
+    Raised by :meth:`~repro.robustness.supervisor.BatchSupervisor.run`
+    *after* the journal was checkpointed and every worker reaped, so
+    the caller can exit with the conventional code (130 for SIGINT,
+    143 for SIGTERM) knowing a ``--resume`` of the run directory will
+    reproduce the uninterrupted run byte-for-byte.
+    """
+
+    def __init__(self, message: str, signum: int, **context: Any) -> None:
+        super().__init__(message, signum=signum, **context)
+        self.signum = signum
+
+    @property
+    def exit_code(self) -> int:
+        """The shell convention for death-by-signal: 128 + signum."""
+        return 128 + self.signum
+
+
+class ServeError(ReproError):
+    """An ``icbe serve`` request or daemon configuration is unusable.
+
+    Raised for operator- and client-level problems — a malformed
+    submission body, a run directory journaled by a daemon with a
+    different option fingerprint — never for per-job optimization
+    failures, which become definite job results instead.
+    """

@@ -138,17 +138,25 @@ class Attempt:
     #: ``telemetry.jsonl`` sidecar instead.
     wall_s: float = field(default=0.0, compare=False)
     peak_rss_kb: int = field(default=0, compare=False)
+    #: Structured failure context (e.g. the unloadable path and errno
+    #: of a vanished input file).  Serialized only when non-empty, so
+    #: journals without context keep their exact historical bytes.
+    context: dict = field(default_factory=dict)
 
     def to_json(self) -> dict:
-        return {"tier": self.tier, "tier_name": self.tier_name,
-                "result": self.result, "detail": self.detail,
-                "backoff_s": round(self.backoff_s, 6)}
+        record = {"tier": self.tier, "tier_name": self.tier_name,
+                  "result": self.result, "detail": self.detail,
+                  "backoff_s": round(self.backoff_s, 6)}
+        if self.context:
+            record["context"] = dict(self.context)
+        return record
 
     @classmethod
     def from_json(cls, data: dict) -> "Attempt":
         return cls(tier=data["tier"], tier_name=data["tier_name"],
                    result=data["result"], detail=data.get("detail", ""),
-                   backoff_s=data.get("backoff_s", 0.0))
+                   backoff_s=data.get("backoff_s", 0.0),
+                   context=dict(data.get("context", {})))
 
 
 #: Attempt results that mean the worker *process* died rather than
@@ -157,10 +165,15 @@ HARD_RESULTS = frozenset({"timeout", "killed", "oom", "crash", "no-result"})
 
 #: Structured error kinds no amount of degradation can fix: the input
 #: itself is invalid, so the ladder is skipped and the job fails fast.
+#: (``KeyError``/``LookupError``/``ValueError`` arrive from the load
+#: phase — an unknown ``suite:`` benchmark or a malformed scale — and
+#: are exactly as permanent as a missing file.)
 NON_RETRYABLE_ERRORS = frozenset({"LexError", "ParseError", "SemanticError",
                                   "LoweringError", "SupervisorError",
                                   "FileNotFoundError", "IsADirectoryError",
-                                  "PermissionError"})
+                                  "NotADirectoryError", "PermissionError",
+                                  "KeyError", "LookupError", "ValueError",
+                                  "UnicodeDecodeError"})
 
 
 @dataclass
@@ -182,10 +195,16 @@ class JobOutcome:
     #: Deterministic result counters from the successful attempt
     #: (empty for FAILED): optimized/conditionals/nodes counts.
     counts: dict = None  # type: ignore[assignment]
+    #: Structured context of the definitive failure (empty for OK and
+    #: DEGRADED, and for failures that carry none); serialized only
+    #: when non-empty so historical journal bytes are unchanged.
+    context: dict = None  # type: ignore[assignment]
 
     def __post_init__(self) -> None:
         if self.counts is None:
             self.counts = {}
+        if self.context is None:
+            self.context = {}
 
     @property
     def definite(self) -> bool:
@@ -213,10 +232,13 @@ class JobOutcome:
         return line
 
     def to_json(self) -> dict:
-        return {"job": self.job, "status": self.status, "tier": self.tier,
-                "tier_name": self.tier_name, "reason": self.reason,
-                "attempts": [a.to_json() for a in self.attempts],
-                "counts": dict(self.counts)}
+        record = {"job": self.job, "status": self.status, "tier": self.tier,
+                  "tier_name": self.tier_name, "reason": self.reason,
+                  "attempts": [a.to_json() for a in self.attempts],
+                  "counts": dict(self.counts)}
+        if self.context:
+            record["context"] = dict(self.context)
+        return record
 
     @classmethod
     def from_json(cls, data: dict) -> "JobOutcome":
@@ -225,4 +247,5 @@ class JobOutcome:
                    reason=data.get("reason", ""),
                    attempts=tuple(Attempt.from_json(a)
                                   for a in data.get("attempts", ())),
-                   counts=dict(data.get("counts", {})))
+                   counts=dict(data.get("counts", {})),
+                   context=dict(data.get("context", {})))

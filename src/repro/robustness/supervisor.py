@@ -28,6 +28,8 @@ from __future__ import annotations
 import multiprocessing
 import os
 import random
+import signal
+import threading
 import time
 import zlib
 from dataclasses import dataclass, field
@@ -36,7 +38,7 @@ from typing import Dict, List, Optional, Sequence, Tuple
 import json
 
 from repro import obs
-from repro.errors import SupervisorError
+from repro.errors import SupervisorDrained, SupervisorError
 from repro.robustness import degrade
 from repro.robustness.degrade import (Attempt, HARD_RESULTS, JobOutcome,
                                       NON_RETRYABLE_ERRORS, STATUS_DEGRADED,
@@ -282,6 +284,8 @@ class BatchSupervisor:
         self.journal = Journal(run_dir)
         self._breaker: Dict[str, int] = {}
         self._breaker_open: Dict[str, str] = {}
+        #: Set by the SIGTERM/SIGINT handler; checked between launches.
+        self._drain_signum = 0
 
     # -- public API --------------------------------------------------------
 
@@ -293,6 +297,7 @@ class BatchSupervisor:
         self._telemetry_handle = open(
             os.path.join(self.run_dir, TELEMETRY_NAME),
             "a" if self.resume else "w", encoding="utf-8")
+        previous_handlers = self._install_drain_handlers()
         try:
             with obs.span("batch.run", jobs=len(states),
                           resumed=report.resumed_jobs):
@@ -304,8 +309,22 @@ class BatchSupervisor:
                         self._run_processes(todo)
                 self._flush_journal()
         finally:
+            self._restore_drain_handlers(previous_handlers)
             self.journal.close()
             self._telemetry_handle.close()
+        if self._drain_signum:
+            # The journal checkpoint above is the hand-off: completed
+            # jobs are fsynced in index order, interrupted ones left
+            # pending, and ``--resume`` finishes the batch with
+            # byte-identical journal and report files.
+            done = sum(1 for s in states if s.done)
+            name = signal.Signals(self._drain_signum).name
+            raise SupervisorDrained(
+                f"batch drained on {name}: {done}/{len(states)} jobs "
+                f"completed, journal checkpointed in {self.run_dir} "
+                f"(finish with --resume)",
+                signum=self._drain_signum,
+                completed=done, total=len(states), run_dir=self.run_dir)
         report.outcomes = [s.outcome for s in states]
         report.breaker_opened = sorted(self._breaker_open)
         report.wall_s = time.monotonic() - started
@@ -313,6 +332,39 @@ class BatchSupervisor:
             obs.add(f"batch.status.{outcome.status.lower()}")
         self._write_report(report)
         return report
+
+    # -- graceful drain ----------------------------------------------------
+
+    def _install_drain_handlers(self):
+        """Catch SIGTERM/SIGINT for a checkpointing drain.
+
+        Only possible from the main thread of the main interpreter;
+        anywhere else (tests driving the supervisor from a thread) the
+        batch simply keeps the host's disposition.
+        """
+        if threading.current_thread() is not threading.main_thread():
+            return {}
+        previous = {}
+        for signum in (signal.SIGTERM, signal.SIGINT):
+            try:
+                previous[signum] = signal.signal(signum, self._on_signal)
+            except (ValueError, OSError):
+                pass
+        return previous
+
+    @staticmethod
+    def _restore_drain_handlers(previous) -> None:
+        for signum, handler in previous.items():
+            try:
+                signal.signal(signum, handler)
+            except (ValueError, OSError):
+                pass
+
+    def _on_signal(self, signum, frame) -> None:
+        # Just a flag: everything meaningful (killing workers, the
+        # journal checkpoint) happens at a safe point in the run loop,
+        # never inside a signal handler.
+        self._drain_signum = signum
 
     # -- setup & resume ----------------------------------------------------
 
@@ -368,6 +420,8 @@ class BatchSupervisor:
                     f"process isolation", job=state.spec.name)
         pending = list(todo)
         while pending:
+            if self._drain_signum:
+                return
             state = pending.pop(0)
             with obs.span("batch.attempt", job=state.spec.name,
                           tier=state.tier):
@@ -387,6 +441,16 @@ class BatchSupervisor:
         waiting: List[_JobState] = []
         running: List[_Running] = []
         while ready or waiting or running:
+            if self._drain_signum:
+                # Drain: in-flight attempts are abandoned (killed and
+                # reaped, nothing journaled for them — ``--resume``
+                # replays the whole job, keeping the journal identical
+                # to an uninterrupted run) and queued jobs stay pending.
+                for worker in running:
+                    worker.process.kill()
+                    worker.process.join(10.0)
+                obs.add("batch.drained.killed", len(running))
+                return
             now = time.monotonic()
             still_waiting = []
             for state in waiting:
@@ -540,11 +604,15 @@ class BatchSupervisor:
             return
         kind = payload.get("kind", "error")
         detail = f"{payload.get('error')}: {payload.get('message')}"
-        if payload.get("error") in NON_RETRYABLE_ERRORS:
+        if (kind == "load-error"
+                or payload.get("error") in NON_RETRYABLE_ERRORS):
+            context = dict(payload.get("context") or {})
             state.attempts.append(Attempt(
                 tier=tier.index, tier_name=tier.name, result="error",
-                detail=detail, backoff_s=state.pending_backoff_s))
-            self._finalize_failed(state, f"non-retryable: {detail}")
+                detail=detail, backoff_s=state.pending_backoff_s,
+                context=context))
+            self._finalize_failed(state, f"non-retryable: {detail}",
+                                  context=context)
             return
         self._record_failure(state, kind, detail)
 
@@ -674,12 +742,13 @@ class BatchSupervisor:
             tier_name=tier.name, reason=reason,
             attempts=tuple(state.attempts), counts=counts)
 
-    def _finalize_failed(self, state: _JobState, reason: str) -> None:
+    def _finalize_failed(self, state: _JobState, reason: str,
+                         context: Optional[dict] = None) -> None:
         tier = degrade.tier(state.tier)
         state.outcome = JobOutcome(
             job=state.spec.name, status=STATUS_FAILED, tier=tier.index,
             tier_name=tier.name, reason=reason,
-            attempts=tuple(state.attempts))
+            attempts=tuple(state.attempts), context=dict(context or {}))
 
     def _flush_journal(self) -> None:
         """Append finalized outcomes in job-index order, as soon as the

@@ -228,7 +228,12 @@ def _attempt_payload(spec: dict) -> dict:
     tier = degrade.tier(spec["tier"])
     try:
         _run_injection(spec.get("inject"), tier.index, spec.get("memory_mb"))
-        icfg, ref_workload = load_job_icfg(spec["job"])
+        try:
+            icfg, ref_workload = load_job_icfg(spec["job"])
+        except MemoryError:
+            raise
+        except (ReproError, OSError, LookupError, ValueError) as failure:
+            return _load_failure(spec["job"], failure)
         counts = {"conditionals": icfg.conditional_node_count(),
                   "nodes_before": icfg.node_count()}
         if not tier.optimize:
@@ -278,6 +283,28 @@ def _attempt_payload(spec: dict) -> dict:
     except OSError as failure:
         return {"ok": False, "error": type(failure).__name__,
                 "message": str(failure), "context": {}, "kind": "error"}
+
+
+def _load_failure(source: str, failure: BaseException) -> dict:
+    """A structured verdict for a job whose program cannot be loaded.
+
+    An input file deleted between admission and attempt, a bad or
+    unknown ``suite:`` reference, an unreadable path — none of these
+    can be fixed by degrading, so the payload is marked with the
+    dedicated ``load-error`` kind (the supervisor fails the job fast,
+    skipping the ladder) and carries structured context naming exactly
+    what was unloadable, so the journaled outcome is diagnosable
+    without reproducing the state of the filesystem.
+    """
+    context: dict = {"source": source, **error_context(failure)}
+    if isinstance(failure, OSError):
+        if failure.filename:
+            context["path"] = str(failure.filename)
+        if failure.errno is not None:
+            context["errno"] = int(failure.errno)
+    return {"ok": False, "error": type(failure).__name__,
+            "message": f"cannot load job {source!r}: {failure}",
+            "context": context, "kind": "load-error"}
 
 
 def worker_main(spec: dict, result_path: str) -> None:

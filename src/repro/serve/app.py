@@ -1,0 +1,119 @@
+"""Daemon assembly and lifecycle: ``icbe serve`` lands here.
+
+:func:`run_daemon` wires the pieces together on one event loop —
+journal recovery, worker pool, dispatcher, HTTP front end — publishes
+a discovery file, installs signal handlers, and then waits for a
+drain.  The shutdown story:
+
+- SIGTERM or SIGINT (or ``POST /v1/drain``) starts a graceful drain:
+  the listener keeps answering (``/readyz`` goes 503, submissions get
+  503) while in-flight attempts run out their grace period; queued and
+  unfinished jobs remain checkpointed in the journal; workers are
+  reaped; the process exits ``128 + signum`` (143 for SIGTERM, 130 for
+  SIGINT) so process managers see a conventional signal exit.
+- A second signal during drain skips the grace period.
+
+The **discovery file** ``<run_dir>/serve.json`` records the bound host,
+port, and pid once the daemon is actually accepting connections —
+that is what makes ``--port 0`` (ephemeral, races impossible) usable
+by tests, the bench load generator, and shell scripts alike::
+
+    port=$(python -c "import json; print(json.load(open('run/serve.json'))['port'])")
+"""
+
+from __future__ import annotations
+
+import asyncio
+import json
+import os
+import signal
+import sys
+from typing import Optional
+
+from repro import obs
+from repro.serve.config import ServeOptions
+from repro.serve.http import HttpFrontend
+from repro.serve.service import OptimizationService
+
+DISCOVERY_NAME = "serve.json"
+
+
+def _write_discovery(options: ServeOptions, port: int) -> str:
+    path = os.path.join(options.run_dir, DISCOVERY_NAME)
+    payload = {"host": options.host, "port": port, "pid": os.getpid()}
+    temp = path + ".tmp"
+    with open(temp, "w", encoding="utf-8") as handle:
+        json.dump(payload, handle, sort_keys=True)
+        handle.write("\n")
+        handle.flush()
+        os.fsync(handle.fileno())
+    os.replace(temp, path)
+    return path
+
+
+async def _main(options: ServeOptions, log) -> int:
+    service = OptimizationService(options)
+    frontend = HttpFrontend(service, options)
+    await service.start()
+    port = await frontend.start()
+    _write_discovery(options, port)
+    log(f"icbe serve: listening on {options.host}:{port} "
+        f"({options.workers} workers, run dir {options.run_dir})")
+    if service._recovered_jobs:
+        log(f"icbe serve: recovered {service._recovered_jobs} "
+            f"interrupted job(s) from the journal")
+
+    loop = asyncio.get_running_loop()
+    received: dict = {"signum": 0}
+
+    def _on_signal(signum: int) -> None:
+        if received["signum"]:
+            # Second signal: the operator is impatient — drop the grace
+            # period for whatever is still running.
+            loop.create_task(service.stop(grace_s=0.0))
+            return
+        received["signum"] = signum
+        log(f"icbe serve: caught {signal.Signals(signum).name}, "
+            f"draining (grace {options.drain_grace_s:g}s)")
+        loop.create_task(service.stop())
+
+    installed = []
+    for signum in (signal.SIGTERM, signal.SIGINT):
+        try:
+            loop.add_signal_handler(signum, _on_signal, signum)
+            installed.append(signum)
+        except (ValueError, NotImplementedError, RuntimeError):
+            pass                 # not the main thread (tests), or an
+                                 # event loop that can't do signals
+
+    try:
+        await service.drained.wait()
+    finally:
+        for signum in installed:
+            loop.remove_signal_handler(signum)
+        await frontend.stop()
+    pending = [job for job in service.jobs.values() if not job.terminal]
+    log(f"icbe serve: drained ({service._completed} completed, "
+        f"{len(pending)} checkpointed)")
+    if received["signum"]:
+        return 128 + received["signum"]
+    return 0
+
+
+def run_daemon(options: ServeOptions, log=None) -> int:
+    """Run the daemon until drained; returns the process exit code."""
+    if log is None:
+        def log(message: str) -> None:
+            print(message, file=sys.stderr, flush=True)
+    obs.gauge("serve.workers.target", options.workers)
+    return asyncio.run(_main(options, log))
+
+
+def read_discovery(run_dir: str) -> Optional[dict]:
+    """The published ``{"host", "port", "pid"}``, or None before bind."""
+    path = os.path.join(run_dir, DISCOVERY_NAME)
+    try:
+        with open(path, "r", encoding="utf-8") as handle:
+            return json.load(handle)
+    except (OSError, ValueError):
+        return None

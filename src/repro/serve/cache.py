@@ -1,0 +1,197 @@
+"""Content-addressed result cache keyed by canonical-IR hash.
+
+The paper's optimization is expensive, deterministic, and idempotent
+per input — the textbook cacheable workload.  The daemon therefore
+addresses results by **what the program is**, not what the request
+said: a submission is parsed, lowered, and verified, its ICFG is
+printed to the canonical text form (:func:`~repro.ir.printer.
+dump_icfg`, a normalized rendering stable across whitespace, comment,
+and formatting differences in the source), and the SHA-256 of that
+dump plus the daemon's option fingerprint is the cache key.  Two
+textually different sources that lower to the same graph share one
+entry; the same source submitted to a daemon with a different budget
+does not.
+
+The cache is two-level:
+
+- an in-memory dict (hot path, no IO);
+- a ``<run_dir>/cache/<key>.json`` file per entry, written atomically,
+  so a restarted daemon — including one that was SIGKILLed — serves
+  cache hits for everything it ever finished.
+
+Only ``OK`` (tier-0) outcomes are cached.  A DEGRADED result records
+that *some attempt failed*, which may have been transient (a killed
+worker, a timeout under load); pinning it would make degradation
+sticky.  Resubmission of a degraded program simply re-optimizes.
+
+Front-door validation rides along for free: hashing requires the
+program to parse, lower, and verify, so a malformed submission is
+refused at admission with a structured 400 — it never occupies a
+queue slot or a worker.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import os
+from dataclasses import dataclass
+from typing import Optional
+
+from repro import obs
+from repro.errors import ServeError
+
+CACHE_DIR = "cache"
+PROGRAM_DIR = "programs"
+
+
+@dataclass
+class Submission:
+    """A validated, canonicalized submission, ready to queue."""
+
+    #: What the worker will load: spooled ``.mc`` path or ``suite:`` ref.
+    job_source: str
+    name: str
+    job_class: str
+    key: str
+
+
+def canonical_key(dump_text: str, fingerprint: dict) -> str:
+    """The content address of one (program, option-set) pair."""
+    digest = hashlib.sha256()
+    digest.update(dump_text.encode("utf-8"))
+    digest.update(b"\x00")
+    digest.update(json.dumps(fingerprint, sort_keys=True,
+                             separators=(",", ":")).encode("utf-8"))
+    return digest.hexdigest()
+
+
+def resolve_submission(body: dict, run_dir: str,
+                       fingerprint: dict) -> Submission:
+    """Validate one submission body and compute its content address.
+
+    Accepted shapes (exactly one of):
+
+    - ``{"source": "<MiniC text>"}`` — the text is parsed/lowered/
+      verified, then spooled content-addressed into
+      ``<run_dir>/programs/<key>.mc`` (so a restarted daemon can re-run
+      journaled jobs without the client);
+    - ``{"suite": "<name>@<scale>"}`` or ``{"suite": "suite:..."}`` —
+      a benchmark-registry reference, resolved by the worker.
+
+    Raises :class:`~repro.errors.ServeError` (HTTP 400) for malformed
+    bodies; frontend errors (:class:`~repro.errors.ReproError`
+    subclasses) propagate for the caller to map to 400 with context.
+
+    This does real parsing work and is called via a thread executor —
+    never directly on the event loop.
+    """
+    source = body.get("source")
+    suite = body.get("suite")
+    if (source is None) == (suite is None):
+        raise ServeError("submission must carry exactly one of "
+                         "'source' or 'suite'")
+    from repro.ir import dump_icfg, lower_program, verify_icfg
+    if suite is not None:
+        ref = suite if suite.startswith("suite:") else f"suite:{suite}"
+        from repro.robustness.worker import load_job_icfg, parse_job_source
+        try:
+            parsed = parse_job_source(ref)
+        except ValueError:
+            parsed = None
+        if parsed is None:
+            raise ServeError(f"bad suite reference {suite!r}", suite=suite)
+        try:
+            icfg, _ = load_job_icfg(ref)
+        except (LookupError, ValueError) as unknown:
+            raise ServeError(f"unknown suite benchmark {suite!r}",
+                             suite=suite) from unknown
+        key = canonical_key(dump_icfg(icfg), fingerprint)
+        return Submission(job_source=ref, name=parsed[0],
+                          job_class=parsed[0], key=key)
+    if not isinstance(source, str) or not source.strip():
+        raise ServeError("'source' must be non-empty MiniC text")
+    from repro.lang import parse_program
+    icfg = lower_program(parse_program(source))
+    verify_icfg(icfg)
+    key = canonical_key(dump_icfg(icfg), fingerprint)
+    path = _spool_program(run_dir, key, source)
+    job_class = str(body.get("class") or "adhoc")
+    return Submission(job_source=path, name=f"adhoc:{key[:12]}",
+                      job_class=job_class, key=key)
+
+
+def _spool_program(run_dir: str, key: str, source: str) -> str:
+    """Write the submitted text content-addressed next to the journal.
+
+    Idempotent by construction (same key == same canonical program; the
+    first spooled text is as good as any other that hashes to it).
+    """
+    spool = os.path.join(run_dir, PROGRAM_DIR)
+    os.makedirs(spool, exist_ok=True)
+    path = os.path.join(spool, f"{key}.mc")
+    if not os.path.exists(path):
+        tmp_path = f"{path}.tmp.{os.getpid()}"
+        with open(tmp_path, "w", encoding="utf-8") as handle:
+            handle.write(source)
+            handle.flush()
+            os.fsync(handle.fileno())
+        os.replace(tmp_path, path)
+    return path
+
+
+class ResultCache:
+    """Two-level (memory + disk) store of finished OK results."""
+
+    def __init__(self, run_dir: str, persist: bool = True) -> None:
+        self.run_dir = run_dir
+        self.persist = persist
+        self._memory: dict = {}
+        self.hits = 0
+        self.misses = 0
+        self.stores = 0
+
+    def _path(self, key: str) -> str:
+        return os.path.join(self.run_dir, CACHE_DIR, f"{key}.json")
+
+    def get(self, key: str) -> Optional[dict]:
+        """The cached result payload for ``key``, or None."""
+        entry = self._memory.get(key)
+        if entry is None and self.persist:
+            path = self._path(key)
+            if os.path.exists(path):
+                try:
+                    with open(path, "r", encoding="utf-8") as handle:
+                        entry = json.load(handle)
+                except (ValueError, OSError):
+                    entry = None     # torn/corrupt entry == miss
+                else:
+                    self._memory[key] = entry
+        if entry is None:
+            self.misses += 1
+            obs.add("serve.cache.miss")
+            return None
+        self.hits += 1
+        obs.add("serve.cache.hit")
+        return dict(entry)
+
+    def put(self, key: str, result: dict) -> None:
+        """Store one OK result (atomic on disk; last writer wins)."""
+        entry = dict(result)
+        self._memory[key] = entry
+        self.stores += 1
+        obs.add("serve.cache.store")
+        if not self.persist:
+            return
+        path = self._path(key)
+        os.makedirs(os.path.dirname(path), exist_ok=True)
+        tmp_path = f"{path}.tmp.{os.getpid()}"
+        with open(tmp_path, "w", encoding="utf-8") as handle:
+            json.dump(entry, handle, sort_keys=True)
+            handle.flush()
+            os.fsync(handle.fileno())
+        os.replace(tmp_path, path)
+
+    def stats(self) -> dict:
+        return {"entries": len(self._memory), "hits": self.hits,
+                "misses": self.misses, "stores": self.stores}

@@ -1,0 +1,171 @@
+"""The serve daemon's write-ahead job journal.
+
+Same discipline as the batch supervisor's journal (one line of
+canonical JSON per event, fsynced before anyone depends on it), but
+shaped for a long-lived stream instead of a fixed batch:
+
+- ``meta`` — first line: schema version, seed, and the daemon's option
+  fingerprint.  A restart on the same run directory refuses a journal
+  whose fingerprint differs (results keyed under another option set
+  must not be mixed).
+- ``submit`` — one per *admitted* job, fsynced **before** the 202
+  response is written.  This is the durability contract: once a client
+  has a job id, the job survives any daemon death.
+- ``done`` — one per finished job: the definite terminal result.
+
+Recovery pairs submits with dones: a submit without a done is an
+interrupted job, re-queued by the restarted daemon.  A torn final line
+(SIGKILL mid-write) is truncated away, exactly as in
+:mod:`repro.robustness.journal`.
+
+Timings never enter the journal; the serialized fields are pure
+functions of the submissions and the daemon's options, so tests can
+compare journals structurally.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+from repro import obs
+from repro.errors import ServeError
+
+JOURNAL_NAME = "serve-journal.jsonl"
+SCHEMA_VERSION = 1
+
+
+def _canonical(record: dict) -> str:
+    return json.dumps(record, sort_keys=True, separators=(",", ":"))
+
+
+@dataclass
+class RecoveredServeJournal:
+    """What :meth:`ServeJournal.recover` found on disk."""
+
+    meta: Optional[dict] = None
+    #: Every ``submit`` record, in admission order.
+    submits: List[dict] = field(default_factory=list)
+    #: job id -> terminal result payload.
+    done: Dict[str, dict] = field(default_factory=dict)
+    valid_bytes: int = 0
+    torn_tail: bool = False
+
+    @property
+    def pending(self) -> List[dict]:
+        """Admitted-but-unfinished submits, in admission order."""
+        return [record for record in self.submits
+                if record["id"] not in self.done]
+
+
+class ServeJournal:
+    """Append-only, fsynced journal of one daemon's job stream."""
+
+    def __init__(self, run_dir: str) -> None:
+        self.run_dir = run_dir
+        self.path = os.path.join(run_dir, JOURNAL_NAME)
+        self._handle = None
+
+    # -- writing -----------------------------------------------------------
+
+    def open_fresh(self, meta: dict) -> None:
+        os.makedirs(self.run_dir, exist_ok=True)
+        self._handle = open(self.path, "w", encoding="utf-8")
+        self._append({"type": "meta", "version": SCHEMA_VERSION, **meta})
+
+    def open_recovered(self, recovered: RecoveredServeJournal,
+                       meta: dict) -> None:
+        """Resume appending after :meth:`recover`, dropping a torn tail
+        and refusing a journal from a differently-configured daemon."""
+        assert recovered.meta is not None
+        for key in ("fingerprint", "seed"):
+            if recovered.meta.get(key) != meta.get(key):
+                raise ServeError(
+                    f"cannot reuse run dir: journal {key} mismatch "
+                    f"({recovered.meta.get(key)!r} on disk vs "
+                    f"{meta.get(key)!r} configured)",
+                    key=key)
+        if recovered.meta.get("version") != SCHEMA_VERSION:
+            raise ServeError(
+                f"cannot reuse run dir: journal schema "
+                f"v{recovered.meta.get('version')} != v{SCHEMA_VERSION}")
+        if recovered.torn_tail:
+            with open(self.path, "r+b") as handle:
+                handle.truncate(recovered.valid_bytes)
+                handle.flush()
+                os.fsync(handle.fileno())
+        self._handle = open(self.path, "a", encoding="utf-8")
+
+    def append_submit(self, record: dict) -> None:
+        """Journal one admission (fsynced before the 202 goes out)."""
+        self._append({"type": "submit", **record})
+
+    def append_done(self, job_id: str, result: dict) -> None:
+        """Journal one definite terminal result."""
+        self._append({"type": "done", "id": job_id, "result": result})
+
+    def _append(self, record: dict) -> None:
+        assert self._handle is not None, "serve journal is not open"
+        self._handle.write(_canonical(record) + "\n")
+        self._handle.flush()
+        os.fsync(self._handle.fileno())
+        obs.add("journal.fsyncs")
+
+    def close(self) -> None:
+        if self._handle is not None:
+            self._handle.close()
+            self._handle = None
+
+    # -- recovery ----------------------------------------------------------
+
+    @classmethod
+    def recover(cls, run_dir: str) -> Optional[RecoveredServeJournal]:
+        """Read back the journal, or None when the directory is fresh.
+
+        Tolerates a torn final line; an unparseable line *followed by
+        more data* is real corruption and raises
+        :class:`~repro.errors.ServeError`.
+        """
+        path = os.path.join(run_dir, JOURNAL_NAME)
+        if not os.path.exists(path):
+            return None
+        recovered = RecoveredServeJournal()
+        with open(path, "rb") as handle:
+            raw = handle.read()
+        offset = 0
+        lines = raw.split(b"\n")
+        for position, line in enumerate(lines):
+            if line == b"":
+                offset += 1
+                continue
+            try:
+                record = json.loads(line.decode("utf-8"))
+            except (ValueError, UnicodeDecodeError):
+                if any(rest.strip() for rest in lines[position + 1:]):
+                    raise ServeError(
+                        f"corrupt serve journal at byte {offset} of {path}",
+                        path=path, offset=offset)
+                recovered.torn_tail = True
+                break
+            recovered.valid_bytes = offset + len(line) + 1
+            offset = recovered.valid_bytes
+            kind = record.get("type")
+            if kind == "meta":
+                if recovered.meta is not None:
+                    raise ServeError(f"duplicate meta record in {path}",
+                                     path=path)
+                recovered.meta = record
+            elif kind == "submit":
+                recovered.submits.append(record)
+            elif kind == "done":
+                recovered.done[record["id"]] = record.get("result", {})
+            else:
+                raise ServeError(
+                    f"unknown serve journal record type {kind!r}",
+                    path=path, record_type=str(kind))
+        if recovered.meta is None:
+            raise ServeError(f"serve journal {path} has no meta record",
+                             path=path)
+        return recovered

@@ -1,0 +1,116 @@
+"""The bounded priority job queue with explicit admission verdicts.
+
+Backpressure is a feature, not a failure mode: when the queue is full
+the daemon says so immediately (HTTP 429 with a Retry-After estimate)
+instead of accepting work it cannot finish inside anyone's deadline.
+Two classes of entry exist and only one is bounded:
+
+- **new submissions** go through :meth:`BoundedJobQueue.offer`, which
+  refuses them beyond ``limit``;
+- **ladder retries** of already-admitted jobs go through
+  :meth:`BoundedJobQueue.requeue`, which always succeeds — an admitted
+  job was journaled and promised a definite outcome, so queue pressure
+  may delay it but never drop it.
+
+Ordering is (priority, admission sequence): lower priority numbers run
+sooner, FIFO within a priority level, and a retried job keeps its
+original sequence number so a descending job is not starved by newer
+submissions at the same priority.
+"""
+
+from __future__ import annotations
+
+import heapq
+import math
+from dataclasses import dataclass
+from typing import List, Optional
+
+from repro import obs
+from repro.serve.models import JobRecord
+
+
+@dataclass
+class Admission:
+    """The verdict on one submission attempt."""
+
+    admitted: bool
+    #: Refusal category (``queue-full``) when not admitted.
+    reason: str = ""
+    #: Client guidance for the Retry-After header, in seconds.
+    retry_after_s: int = 0
+
+
+class BoundedJobQueue:
+    """Priority queue with a bound on *new* admissions only."""
+
+    def __init__(self, limit: int, nominal_job_s: float = 2.0,
+                 workers: int = 1) -> None:
+        self.limit = max(1, limit)
+        #: Back-of-envelope seconds per job, used only to phrase
+        #: Retry-After; measured nowhere, promised nowhere.
+        self.nominal_job_s = nominal_job_s
+        self.workers = max(1, workers)
+        self._heap: List[tuple] = []
+        self._seq = 0
+
+    # -- admission ---------------------------------------------------------
+
+    def offer(self, job: JobRecord) -> Admission:
+        """Admit a new submission, or refuse it with guidance."""
+        if len(self._heap) >= self.limit:
+            obs.add("serve.rejected.queue_full")
+            return Admission(admitted=False, reason="queue-full",
+                             retry_after_s=self.retry_after_s())
+        self._push(job, self._next_seq())
+        obs.add("serve.admitted")
+        return Admission(admitted=True)
+
+    def requeue(self, job: JobRecord, seq: Optional[int] = None) -> None:
+        """Re-enter an admitted job (ladder retry); never refused.
+
+        Callers that remember the job's original admission sequence pass
+        it to preserve FIFO standing; otherwise a fresh sequence keeps
+        heap entries totally ordered (JobRecords are not comparable).
+        """
+        self._push(job, self._next_seq() if seq is None else seq)
+
+    def _next_seq(self) -> int:
+        self._seq += 1
+        return self._seq
+
+    def _push(self, job: JobRecord, seq: int) -> None:
+        heapq.heappush(self._heap, (job.priority, seq, job))
+        obs.gauge("serve.queue.depth", len(self._heap))
+
+    # -- consumption -------------------------------------------------------
+
+    def take(self) -> Optional[JobRecord]:
+        """The next runnable job, or None when empty."""
+        if not self._heap:
+            return None
+        _, _, job = heapq.heappop(self._heap)
+        obs.gauge("serve.queue.depth", len(self._heap))
+        return job
+
+    def remove(self, job: JobRecord) -> bool:
+        """Drop one queued job (deadline expiry, cancellation)."""
+        for index, (_, _, queued) in enumerate(self._heap):
+            if queued is job:
+                self._heap[index] = self._heap[-1]
+                self._heap.pop()
+                heapq.heapify(self._heap)
+                obs.gauge("serve.queue.depth", len(self._heap))
+                return True
+        return False
+
+    def __len__(self) -> int:
+        return len(self._heap)
+
+    @property
+    def depth(self) -> int:
+        return len(self._heap)
+
+    def retry_after_s(self) -> int:
+        """A polite, integral Retry-After guess from queue depth."""
+        backlog_s = (len(self._heap) * self.nominal_job_s) / self.workers
+        return max(1, int(math.ceil(backlog_s)))

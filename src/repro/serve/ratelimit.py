@@ -1,0 +1,85 @@
+"""Per-client token-bucket rate limiting.
+
+Classic token bucket: each client key owns a bucket of ``capacity``
+tokens refilled continuously at ``refill_per_s``; a request spends one
+token, an empty bucket means HTTP 429 with a Retry-After that says
+exactly when the next token lands.  The clock is injectable so tests
+are instant and deterministic.
+
+Client identity is whatever the HTTP layer passes in — the ``X-Client``
+header when present, else the peer address — which is honest about what
+a stdlib daemon can know.  The table is bounded: least-recently-seen
+buckets are evicted past ``max_clients``, which caps memory under
+hostile client-id churn (an evicted client restarts with a full
+bucket, i.e. eviction can only ever be too generous, never unfair).
+"""
+
+from __future__ import annotations
+
+import math
+import time
+from collections import OrderedDict
+from typing import Callable, Tuple
+
+from repro import obs
+
+
+class TokenBucket:
+    """One client's bucket."""
+
+    __slots__ = ("capacity", "refill_per_s", "tokens", "stamp")
+
+    def __init__(self, capacity: float, refill_per_s: float,
+                 now: float) -> None:
+        self.capacity = capacity
+        self.refill_per_s = refill_per_s
+        self.tokens = capacity
+        self.stamp = now
+
+    def allow(self, now: float) -> Tuple[bool, float]:
+        """Spend one token if available; else (False, seconds-to-token)."""
+        elapsed = max(0.0, now - self.stamp)
+        self.stamp = now
+        self.tokens = min(self.capacity,
+                          self.tokens + elapsed * self.refill_per_s)
+        if self.tokens >= 1.0:
+            self.tokens -= 1.0
+            return True, 0.0
+        if self.refill_per_s <= 0.0:
+            return False, float("inf")
+        return False, (1.0 - self.tokens) / self.refill_per_s
+
+
+class RateLimiter:
+    """A bounded table of per-client token buckets."""
+
+    def __init__(self, capacity: float, refill_per_s: float,
+                 max_clients: int = 1024,
+                 clock: Callable[[], float] = time.monotonic) -> None:
+        self.capacity = capacity
+        self.refill_per_s = refill_per_s
+        self.max_clients = max(1, max_clients)
+        self._clock = clock
+        self._buckets: "OrderedDict[str, TokenBucket]" = OrderedDict()
+
+    def allow(self, client: str) -> Tuple[bool, int]:
+        """(allowed, retry_after_s) for one request from ``client``."""
+        now = self._clock()
+        bucket = self._buckets.get(client)
+        if bucket is None:
+            bucket = TokenBucket(self.capacity, self.refill_per_s, now)
+            self._buckets[client] = bucket
+            while len(self._buckets) > self.max_clients:
+                self._buckets.popitem(last=False)
+        else:
+            self._buckets.move_to_end(client)
+        allowed, wait_s = bucket.allow(now)
+        if allowed:
+            return True, 0
+        obs.add("serve.rejected.rate_limited")
+        if math.isinf(wait_s):
+            return False, 3600
+        return False, max(1, int(math.ceil(wait_s)))
+
+    def __len__(self) -> int:
+        return len(self._buckets)

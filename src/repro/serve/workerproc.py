@@ -1,0 +1,136 @@
+"""The resident optimization worker (child-process side).
+
+Where the batch supervisor forks one subprocess per attempt, the serve
+daemon keeps **K resident workers** and streams jobs to them, so the
+per-job cost is one optimization, not one interpreter start-up plus a
+few hundred module imports.  Each worker is a plain blocking loop:
+
+- stdin: newline-delimited JSON requests —
+  ``{"type": "job", "id": ..., "spec": {...}}`` (the *same* attempt
+  spec the batch worker runs; execution is literally
+  :func:`repro.robustness.worker.run_attempt`) and
+  ``{"type": "shutdown"}``;
+- stdout: newline-delimited JSON events — ``ready`` once at start,
+  ``result`` per job, and ``heartbeat`` (with the process's peak RSS
+  and a busy flag) every ``heartbeat_interval_s`` from a daemon
+  thread, so the parent can tell a slow job from a wedged process.
+
+Dying well is inherited from the batch worker's design:
+
+- the address-space rlimit is applied before any job runs, so an OOM
+  becomes a structured ``MemoryError`` failure, not a box-killer;
+- a SIGALRM backstop is armed around every job at a comfortable
+  multiple of the attempt timeout — it only ever fires when the
+  *daemon* died and can no longer kill us, so a hung job cannot leak
+  a spinning orphan;
+- fd 1 is re-pointed at stderr right after the protocol stream is
+  duplicated, so a stray ``print`` anywhere in the optimizer can never
+  corrupt the framing;
+- anything that escapes :func:`run_attempt` (a hard crash, the chaos
+  ``crash`` injection's ``os._exit``) ends the process, which the
+  parent observes as EOF and classifies as a hard attempt failure.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import signal
+import sys
+import threading
+
+from repro import obs
+from repro.robustness.worker import (ORPHAN_GRACE_FACTOR,
+                                     EXIT_ORPHAN_BACKSTOP, _apply_rlimits,
+                                     _peak_rss_kb, run_attempt)
+
+
+class _Protocol:
+    """Locked, line-framed JSON writes shared by both threads."""
+
+    def __init__(self, handle) -> None:
+        self._handle = handle
+        self._lock = threading.Lock()
+
+    def send(self, record: dict) -> None:
+        line = json.dumps(record, sort_keys=True) + "\n"
+        with self._lock:
+            self._handle.write(line)
+            self._handle.flush()
+
+
+def _heartbeat_loop(proto: _Protocol, interval_s: float,
+                    busy: dict) -> None:
+    stop = busy["stop"]
+    while not stop.wait(interval_s):
+        try:
+            proto.send({"type": "heartbeat",
+                        "rss_kb": _peak_rss_kb(),
+                        "busy": bool(busy["job"])})
+        except (OSError, ValueError):
+            return               # parent is gone; the main loop will
+                                 # notice EOF and exit
+
+
+def _arm_job_backstop(timeout_s) -> None:
+    """Self-destruct long after the daemon would have killed us."""
+    if not timeout_s or not hasattr(signal, "SIGALRM"):
+        return
+    signal.signal(signal.SIGALRM,
+                  lambda signum, frame: os._exit(EXIT_ORPHAN_BACKSTOP))
+    signal.alarm(max(1, int(timeout_s * ORPHAN_GRACE_FACTOR) + 5))
+
+
+def _disarm_job_backstop() -> None:
+    if hasattr(signal, "SIGALRM"):
+        signal.alarm(0)
+
+
+def main(argv=None) -> int:
+    """Worker entry point: serve jobs over the NDJSON pipe protocol.
+
+    ``argv[1]`` is the JSON worker config (rlimits, heartbeat cadence).
+    Loops reading ``job`` frames and writing ``result`` frames until a
+    ``shutdown`` frame or EOF; returns the process exit code.
+    """
+    config = json.loads((argv or sys.argv)[1])
+    obs.reset()                  # never inherit a parent session
+    # Claim the protocol stream, then point fd 1 at stderr so stray
+    # prints cannot corrupt the framing.
+    proto = _Protocol(os.fdopen(os.dup(1), "w", encoding="utf-8"))
+    os.dup2(2, 1)
+    _apply_rlimits(config.get("memory_mb"))
+    busy = {"job": None, "stop": threading.Event()}
+    thread = threading.Thread(
+        target=_heartbeat_loop,
+        args=(proto, float(config.get("heartbeat_interval_s", 0.5)), busy),
+        daemon=True)
+    thread.start()
+    proto.send({"type": "ready", "pid": os.getpid(),
+                "worker": config.get("worker", "")})
+    for raw in sys.stdin:
+        raw = raw.strip()
+        if not raw:
+            continue
+        message = json.loads(raw)
+        kind = message.get("type")
+        if kind == "shutdown":
+            break
+        if kind != "job":
+            continue
+        spec = message["spec"]
+        busy["job"] = message.get("id")
+        _arm_job_backstop(spec.get("timeout_s"))
+        try:
+            payload = run_attempt(spec)
+        finally:
+            _disarm_job_backstop()
+            busy["job"] = None
+        proto.send({"type": "result", "id": message.get("id"),
+                    "payload": payload})
+    busy["stop"].set()
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

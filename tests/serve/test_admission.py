@@ -1,0 +1,102 @@
+"""Admission control: the bounded queue and per-client rate limits."""
+
+from repro.serve.models import JobRecord
+from repro.serve.queue import BoundedJobQueue
+from repro.serve.ratelimit import RateLimiter, TokenBucket
+
+
+def _job(jid, priority=5):
+    return JobRecord(id=jid, job_source=f"{jid}.mc", name=jid,
+                     job_class="t", key=f"key-{jid}", priority=priority)
+
+
+# -- the bounded priority queue ---------------------------------------------
+
+def test_offer_is_bounded_with_retry_after():
+    queue = BoundedJobQueue(limit=2, nominal_job_s=2.0, workers=1)
+    assert queue.offer(_job("a")).admitted
+    assert queue.offer(_job("b")).admitted
+    refusal = queue.offer(_job("c"))
+    assert not refusal.admitted
+    assert refusal.reason == "queue-full"
+    assert refusal.retry_after_s >= 2  # two queued jobs at 2s nominal
+    assert queue.depth == 2
+
+
+def test_requeue_is_never_refused():
+    queue = BoundedJobQueue(limit=1)
+    assert queue.offer(_job("a")).admitted
+    # Ladder retries of admitted jobs bypass the bound entirely.
+    queue.requeue(_job("retry-1"))
+    queue.requeue(_job("retry-2"))
+    assert queue.depth == 3
+
+
+def test_priority_then_fifo_order():
+    queue = BoundedJobQueue(limit=10)
+    queue.offer(_job("low-1", priority=9))
+    queue.offer(_job("hot", priority=1))
+    queue.offer(_job("low-2", priority=9))
+    assert [queue.take().id for _ in range(3)] == ["hot", "low-1", "low-2"]
+    assert queue.take() is None
+
+
+def test_remove_drops_exactly_one_queued_job():
+    queue = BoundedJobQueue(limit=10)
+    jobs = [_job(f"j{i}") for i in range(4)]
+    for job in jobs:
+        queue.offer(job)
+    assert queue.remove(jobs[2])
+    assert not queue.remove(jobs[2])  # already gone
+    remaining = [queue.take().id for _ in range(queue.depth)]
+    assert remaining == ["j0", "j1", "j3"]
+
+
+# -- token buckets ----------------------------------------------------------
+
+def test_token_bucket_burst_then_refill():
+    bucket = TokenBucket(capacity=2.0, refill_per_s=1.0, now=0.0)
+    assert bucket.allow(0.0) == (True, 0.0)
+    assert bucket.allow(0.0) == (True, 0.0)
+    ok, wait = bucket.allow(0.0)
+    assert not ok and wait == 1.0  # one full token away
+    # Half a second later: still short, wait shrinks accordingly.
+    ok, wait = bucket.allow(0.5)
+    assert not ok and abs(wait - 0.5) < 1e-9
+    # After the refill the next request passes.
+    assert bucket.allow(1.5)[0]
+
+
+def test_rate_limiter_is_per_client_with_integral_retry_after():
+    clock = {"now": 0.0}
+    limiter = RateLimiter(capacity=1.0, refill_per_s=0.25,
+                          clock=lambda: clock["now"])
+    assert limiter.allow("alice") == (True, 0)
+    refused, retry_after = limiter.allow("alice")
+    assert not refused or retry_after == 0
+    allowed, retry_after = limiter.allow("alice")
+    assert not allowed
+    assert retry_after == 4  # ceil(1 token / 0.25 per s)
+    # Other clients are untouched.
+    assert limiter.allow("bob") == (True, 0)
+    clock["now"] = 4.0
+    assert limiter.allow("alice") == (True, 0)
+
+
+def test_rate_limiter_table_is_bounded_lru():
+    limiter = RateLimiter(capacity=5.0, refill_per_s=1.0, max_clients=3,
+                          clock=lambda: 0.0)
+    for name in ("a", "b", "c", "d"):
+        assert limiter.allow(name)[0]
+    assert len(limiter) == 3  # "a" evicted
+    # An evicted client returns with a full bucket — generous, not unfair.
+    assert limiter.allow("a")[0]
+
+
+def test_zero_refill_reports_a_finite_retry_after():
+    limiter = RateLimiter(capacity=1.0, refill_per_s=0.0,
+                          clock=lambda: 0.0)
+    assert limiter.allow("x")[0]
+    allowed, retry_after = limiter.allow("x")
+    assert not allowed
+    assert retry_after == 3600

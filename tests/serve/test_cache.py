@@ -1,0 +1,97 @@
+"""Content addressing and the two-level result cache."""
+
+import json
+import os
+
+import pytest
+
+from repro.errors import ParseError, ServeError
+from repro.serve.cache import (ResultCache, Submission, canonical_key,
+                               resolve_submission)
+
+FINGERPRINT = {"budget": 1000, "duplication_limit": 100,
+               "diff_check": True, "conditional_deadline_s": None}
+
+PROGRAM = """
+proc main() {
+    var v = input();
+    if (v > 0) { if (v > 0) { print 1; } }
+    return 0;
+}
+"""
+
+# Same graph, different surface text: reordered whitespace + comments.
+PROGRAM_RESTYLED = (
+    "// a comment the lexer drops\n"
+    "proc main()   {\n var v = input();\n"
+    "    if (v > 0) { if (v > 0) { print 1; } }\n    return 0;\n}\n")
+
+
+def test_canonical_key_is_stable_and_fingerprint_sensitive():
+    key = canonical_key("dump-text", FINGERPRINT)
+    assert key == canonical_key("dump-text", dict(FINGERPRINT))
+    assert key != canonical_key("dump-text!", FINGERPRINT)
+    assert key != canonical_key("dump-text", {**FINGERPRINT, "budget": 2})
+
+
+def test_resolution_is_formatting_insensitive(tmp_path):
+    a = resolve_submission({"source": PROGRAM}, str(tmp_path), FINGERPRINT)
+    b = resolve_submission({"source": PROGRAM_RESTYLED}, str(tmp_path),
+                           FINGERPRINT)
+    assert isinstance(a, Submission)
+    assert a.key == b.key
+    # The spooled program is content-addressed and loadable.
+    assert os.path.exists(a.job_source)
+    assert a.job_source.endswith(f"{a.key}.mc")
+    assert a.name.startswith("adhoc:")
+
+
+def test_suite_resolution_and_class(tmp_path):
+    sub = resolve_submission({"suite": "li_like@1"}, str(tmp_path),
+                             FINGERPRINT)
+    assert sub.job_source == "suite:li_like@1"
+    assert sub.name == "li_like"
+    assert sub.job_class == "li_like"
+    # The explicit prefix form resolves to the same thing.
+    again = resolve_submission({"suite": "suite:li_like@1"}, str(tmp_path),
+                               FINGERPRINT)
+    assert again.key == sub.key
+
+
+def test_malformed_submissions_are_refused(tmp_path):
+    run = str(tmp_path)
+    with pytest.raises(ServeError, match="exactly one"):
+        resolve_submission({}, run, FINGERPRINT)
+    with pytest.raises(ServeError, match="exactly one"):
+        resolve_submission({"source": "x", "suite": "y"}, run, FINGERPRINT)
+    with pytest.raises(ServeError, match="non-empty"):
+        resolve_submission({"source": "   "}, run, FINGERPRINT)
+    with pytest.raises(ServeError, match="unknown suite"):
+        resolve_submission({"suite": "nope@1"}, run, FINGERPRINT)
+    with pytest.raises(ParseError):
+        resolve_submission({"source": "proc main() { print 1 }"},
+                           run, FINGERPRINT)
+
+
+def test_cache_round_trip_and_disk_persistence(tmp_path):
+    cache = ResultCache(str(tmp_path))
+    assert cache.get("k1") is None
+    cache.put("k1", {"status": "OK", "tier": 0})
+    assert cache.get("k1")["status"] == "OK"
+    # A second instance on the same directory sees the entry (disk).
+    fresh = ResultCache(str(tmp_path))
+    assert fresh.get("k1")["tier"] == 0
+    assert fresh.stats()["hits"] == 1
+
+
+def test_corrupt_disk_entry_is_a_miss(tmp_path):
+    cache = ResultCache(str(tmp_path))
+    cache.put("k1", {"status": "OK"})
+    path = os.path.join(str(tmp_path), "cache", "k1.json")
+    with open(path, "w", encoding="utf-8") as handle:
+        handle.write('{"status": "OK"')  # torn write
+    fresh = ResultCache(str(tmp_path))
+    assert fresh.get("k1") is None
+    # And an in-memory put repairs it.
+    fresh.put("k1", {"status": "OK"})
+    assert json.load(open(path))["status"] == "OK"

@@ -1,0 +1,209 @@
+"""``icbe serve`` as a real process: HTTP, signals, crash recovery.
+
+Everything here goes through the CLI entry point and the wire — the
+same path operators use.  Ports are always ephemeral (``--port 0``)
+and discovered via ``<run_dir>/serve.json``.
+"""
+
+import http.client
+import json
+import os
+import signal
+import subprocess
+import sys
+import time
+
+import pytest
+
+from repro.serve.app import read_discovery
+
+REPO_SRC = os.path.join(os.path.dirname(__file__), "..", "..", "src")
+
+PROGRAM = """
+proc main() {
+    var v = input();
+    if (v > 0) { if (v > 0) { print 1; } }
+    return 0;
+}
+"""
+
+
+def _spawn(run_dir, *extra):
+    env = dict(os.environ, PYTHONPATH=REPO_SRC)
+    return subprocess.Popen(
+        [sys.executable, "-m", "repro.cli", "serve", "--port", "0",
+         "--workers", "1", "--run-dir", str(run_dir),
+         "--drain-grace", "5", *extra],
+        env=env, stdout=subprocess.PIPE, stderr=subprocess.PIPE)
+
+
+def _wait_ready(run_dir, proc, timeout_s=30.0):
+    deadline = time.monotonic() + timeout_s
+    while time.monotonic() < deadline:
+        if proc.poll() is not None:
+            raise AssertionError(
+                f"daemon exited early: {proc.stderr.read().decode()}")
+        info = read_discovery(str(run_dir))
+        # A stale serve.json from a previous (killed) daemon may point
+        # at a dead port until the restart rebinds and republishes.
+        if info is not None:
+            try:
+                status, body, _ = _request(info, "GET", "/readyz",
+                                           timeout=2.0)
+            except OSError:
+                status = None
+            if status == 200:
+                return info
+        time.sleep(0.05)
+    raise AssertionError("daemon never became ready")
+
+
+def _request(info, method, path, body=None, timeout=30.0):
+    conn = http.client.HTTPConnection(info["host"], info["port"],
+                                      timeout=timeout)
+    try:
+        payload = None if body is None else json.dumps(body)
+        conn.request(method, path, body=payload,
+                     headers={"Content-Type": "application/json"})
+        response = conn.getresponse()
+        raw = response.read()
+        parsed = json.loads(raw) if raw else {}
+        return response.status, parsed, dict(response.getheaders())
+    finally:
+        conn.close()
+
+
+def _poll_done(info, job_id, timeout_s=60.0):
+    deadline = time.monotonic() + timeout_s
+    while time.monotonic() < deadline:
+        status, body, _ = _request(info, "GET",
+                                   f"/v1/jobs/{job_id}?wait=5")
+        assert status == 200, body
+        if body["state"] == "done":
+            return body
+    raise AssertionError(f"job {job_id} never finished")
+
+
+def _shutdown(proc):
+    if proc.poll() is None:
+        proc.kill()
+    proc.wait(timeout=10)
+
+
+def test_daemon_serves_jobs_and_drains_on_sigterm(tmp_path):
+    run_dir = tmp_path / "run"
+    proc = _spawn(run_dir)
+    try:
+        info = _wait_ready(run_dir, proc)
+        assert info["pid"] == proc.pid
+
+        status, body, _ = _request(info, "GET", "/healthz")
+        assert status == 200 and body["ok"]
+
+        status, body, _ = _request(info, "POST", "/v1/jobs",
+                                   {"source": PROGRAM})
+        assert status == 202, body
+        job_id = body["id"]
+        done = _poll_done(info, job_id)
+        assert done["result"]["status"] == "OK"
+
+        # Identical resubmission: served from cache, no second job.
+        status, body, _ = _request(info, "POST", "/v1/jobs",
+                                   {"source": PROGRAM})
+        assert status == 200 and body["cached"] is True
+
+        status, stats, _ = _request(info, "GET", "/v1/stats")
+        assert status == 200
+        assert stats["jobs"]["completed"] == 1
+        assert stats["cache"]["entries"] >= 1
+
+        proc.send_signal(signal.SIGTERM)
+        assert proc.wait(timeout=30) == 143
+        stderr = proc.stderr.read().decode()
+        assert "caught SIGTERM" in stderr
+        assert "drained" in stderr
+    finally:
+        _shutdown(proc)
+
+
+def test_streaming_reports_every_transition(tmp_path):
+    run_dir = tmp_path / "run"
+    proc = _spawn(run_dir)
+    try:
+        info = _wait_ready(run_dir, proc)
+        status, body, _ = _request(info, "POST", "/v1/jobs",
+                                   {"source": PROGRAM})
+        assert status == 202
+        conn = http.client.HTTPConnection(info["host"], info["port"],
+                                          timeout=60.0)
+        try:
+            conn.request("GET", f"/v1/jobs/{body['id']}/stream")
+            response = conn.getresponse()
+            assert response.status == 200
+            states = [json.loads(line)["state"]
+                      for line in response.read().splitlines() if line]
+        finally:
+            conn.close()
+        assert states[-1] == "done"
+        assert set(states) <= {"queued", "running", "done"}
+    finally:
+        _shutdown(proc)
+
+
+def test_post_drain_endpoint_drains_with_exit_zero(tmp_path):
+    run_dir = tmp_path / "run"
+    proc = _spawn(run_dir)
+    try:
+        info = _wait_ready(run_dir, proc)
+        status, _, _ = _request(info, "POST", "/v1/drain")
+        assert status == 202
+        assert proc.wait(timeout=30) == 0
+    finally:
+        _shutdown(proc)
+
+
+def test_sigkill_recovery_preserves_jobs_and_cache(tmp_path):
+    run_dir = tmp_path / "run"
+    # Serialize everything behind one slow chaos job so the kill lands
+    # while real work is checkpointed-but-unfinished.
+    proc = _spawn(run_dir)
+    try:
+        info = _wait_ready(run_dir, proc)
+        status, first, _ = _request(
+            info, "POST", "/v1/jobs",
+            {"source": PROGRAM, "inject": {"kind": "hang", "tiers": [0]}})
+        assert status == 202
+        status, second, _ = _request(info, "POST", "/v1/jobs",
+                                     {"suite": "li_like@1"})
+        assert status == 202
+        proc.kill()  # SIGKILL: no drain, no checkpointing courtesy
+        proc.wait(timeout=10)
+    finally:
+        _shutdown(proc)
+
+    proc = _spawn(run_dir, "--timeout", "5")
+    try:
+        info = _wait_ready(run_dir, proc)
+        # Both admitted jobs survived the murder, under their old ids.
+        recovered = _poll_done(info, second["id"], timeout_s=90.0)
+        assert recovered["result"]["status"] == "OK"
+        hung = _poll_done(info, first["id"], timeout_s=90.0)
+        # The hang drill resumed too: tier 0 hangs, tier 1 completes.
+        assert hung["result"]["status"] == "DEGRADED"
+        # And the recovered suite result is now cache-served.
+        status, body, _ = _request(info, "POST", "/v1/jobs",
+                                   {"suite": "li_like@1"})
+        assert status == 200 and body["cached"] is True
+    finally:
+        _shutdown(proc)
+
+
+@pytest.mark.parametrize("signum,code", [(signal.SIGINT, 130)])
+def test_sigint_exits_130(tmp_path, signum, code):
+    proc = _spawn(tmp_path / "run")
+    try:
+        _wait_ready(tmp_path / "run", proc)
+        proc.send_signal(signum)
+        assert proc.wait(timeout=30) == code
+    finally:
+        _shutdown(proc)

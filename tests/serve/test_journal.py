@@ -1,0 +1,100 @@
+"""The serve journal: durability, recovery, torn tails, config safety."""
+
+import json
+import os
+
+import pytest
+
+from repro.errors import ServeError
+from repro.serve.journal import JOURNAL_NAME, ServeJournal
+
+META = {"seed": 0, "fingerprint": {"budget": 1000}}
+
+
+def _submit(jid, key="k"):
+    return {"id": jid, "job": f"{jid}.mc", "name": jid, "job_class": "t",
+            "key": key, "priority": 5, "deadline_s": 300.0, "inject": None}
+
+
+def _path(run_dir):
+    return os.path.join(str(run_dir), JOURNAL_NAME)
+
+
+def test_fresh_write_then_recover_pairs_submits_with_dones(tmp_path):
+    journal = ServeJournal(str(tmp_path))
+    journal.open_fresh(META)
+    journal.append_submit(_submit("j-1"))
+    journal.append_submit(_submit("j-2"))
+    journal.append_done("j-1", {"status": "OK", "tier": 0})
+    journal.close()
+
+    recovered = ServeJournal.recover(str(tmp_path))
+    assert recovered.meta["seed"] == 0
+    assert [r["id"] for r in recovered.submits] == ["j-1", "j-2"]
+    assert recovered.done["j-1"]["status"] == "OK"
+    assert [r["id"] for r in recovered.pending] == ["j-2"]
+    assert not recovered.torn_tail
+
+
+def test_recover_returns_none_for_a_fresh_directory(tmp_path):
+    assert ServeJournal.recover(str(tmp_path)) is None
+
+
+def test_torn_tail_is_tolerated_and_truncated_on_reopen(tmp_path):
+    journal = ServeJournal(str(tmp_path))
+    journal.open_fresh(META)
+    journal.append_submit(_submit("j-1"))
+    journal.close()
+    with open(_path(tmp_path), "ab") as handle:
+        handle.write(b'{"type": "done", "id": "j-1", "resu')  # SIGKILL here
+
+    recovered = ServeJournal.recover(str(tmp_path))
+    assert recovered.torn_tail
+    assert [r["id"] for r in recovered.pending] == ["j-1"]
+
+    # Re-opening truncates the torn bytes and appends cleanly after them.
+    journal2 = ServeJournal(str(tmp_path))
+    journal2.open_recovered(recovered, META)
+    journal2.append_done("j-1", {"status": "OK", "tier": 0})
+    journal2.close()
+    lines = [json.loads(line) for line in open(_path(tmp_path))]
+    assert [r["type"] for r in lines] == ["meta", "submit", "done"]
+
+
+def test_corruption_before_the_tail_raises(tmp_path):
+    journal = ServeJournal(str(tmp_path))
+    journal.open_fresh(META)
+    journal.append_submit(_submit("j-1"))
+    journal.close()
+    raw = open(_path(tmp_path), "rb").read()
+    lines = raw.splitlines(keepends=True)
+    lines[0] = b'{"type": "meta", "broken\n'
+    with open(_path(tmp_path), "wb") as handle:
+        handle.writelines(lines)
+    with pytest.raises(ServeError, match="corrupt"):
+        ServeJournal.recover(str(tmp_path))
+
+
+def test_reopen_refuses_a_different_fingerprint_or_seed(tmp_path):
+    journal = ServeJournal(str(tmp_path))
+    journal.open_fresh(META)
+    journal.append_submit(_submit("j-1"))
+    journal.close()
+    recovered = ServeJournal.recover(str(tmp_path))
+    with pytest.raises(ServeError, match="fingerprint"):
+        ServeJournal(str(tmp_path)).open_recovered(
+            recovered, {"seed": 0, "fingerprint": {"budget": 7}})
+    with pytest.raises(ServeError, match="seed"):
+        ServeJournal(str(tmp_path)).open_recovered(
+            recovered, {"seed": 5, "fingerprint": {"budget": 1000}})
+
+
+def test_unknown_record_type_raises(tmp_path):
+    journal = ServeJournal(str(tmp_path))
+    journal.open_fresh(META)
+    journal.close()
+    with open(_path(tmp_path), "ab") as handle:
+        handle.write(b'{"type": "mystery"}\n')
+        handle.write(b'{"type": "submit", "id": "j-9"}\n')
+    with pytest.raises(ServeError, match="mystery"):
+        ServeJournal.recover(str(tmp_path))
