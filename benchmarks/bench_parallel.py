@@ -1,0 +1,112 @@
+"""Persistent summary store: warm-over-cold speedup of the analysis.
+
+The on-disk store (`repro.analysis.store`) persists completed
+summary-node answer sets content-addressed by (callee closure body,
+exit, query, semantic config).  What it accelerates is the correlation
+*analysis* — the demand-driven fixpoints the optimizer (and the
+``--analysis-jobs`` prewarm workers) run per branch; the transform
+itself never touches it.  This bench therefore measures the analysis
+sweep — every branch of every scale-8 suite benchmark analyzed through
+a store-backed context — cold (empty store directory) and then warm
+(same directory, fresh process state), and asserts:
+
+- **equivalence**: per-branch answer sets are identical cold and warm
+  (store entries are exact by construction — only completed analyses
+  persist);
+- **speed**: the warm sweep is at least 1.5x faster over the suite.
+
+A serial-vs-``analysis_jobs`` byte-equivalence spot check of the full
+optimizer rides along (the exhaustive version is
+``ci_parallel_equivalence.py`` and the property suite).
+
+Run:  pytest benchmarks/bench_parallel.py --benchmark-only -s
+"""
+
+import shutil
+import tempfile
+import time
+
+from repro.analysis import AnalysisConfig, analyze_branch
+from repro.analysis.context import AnalysisContext
+from repro.analysis.store import SummaryStore
+from repro.benchgen.suite import benchmark_names, load_benchmark
+from repro.ir import dump_icfg, lower_program, verify_icfg
+from repro.transform import ICBEOptimizer, OptimizerOptions
+from repro.utils.tables import render_table
+
+SCALE = 8
+BUDGET = 1000
+MIN_SUITE_SPEEDUP = 1.5
+CONFIG = AnalysisConfig(budget=BUDGET)
+
+
+def sweep(icfg, store_root):
+    """Analyze every branch through a store-backed context."""
+    context = AnalysisContext()
+    context.bind(icfg)
+    context.attach_store(SummaryStore(store_root, CONFIG))
+    answers = []
+    started = time.perf_counter()
+    for branch_id in sorted(b.id for b in icfg.branch_nodes()):
+        result = analyze_branch(icfg, branch_id, CONFIG, context=context)
+        answers.append((branch_id, result.branch_answers))
+    wall_s = time.perf_counter() - started
+    return wall_s, answers, context.store.stats
+
+
+def measure(name):
+    icfg = lower_program(load_benchmark(name, scale=SCALE).program)
+    verify_icfg(icfg)
+    store_root = tempfile.mkdtemp(prefix="icbe-bench-store-")
+    try:
+        cold_s, cold_answers, cold_stats = sweep(icfg, store_root)
+        warm_s, warm_answers, warm_stats = sweep(icfg, store_root)
+    finally:
+        shutil.rmtree(store_root, ignore_errors=True)
+    assert warm_answers == cold_answers, name
+    assert warm_stats.stores == 0, name       # nothing left to learn
+    return {"cold_s": cold_s, "warm_s": warm_s,
+            "branches": len(cold_answers),
+            "persisted": cold_stats.stores,
+            "warm_hits": warm_stats.hits,
+            "warm_misses": warm_stats.misses}
+
+
+def check_parallel_equivalence(name):
+    """Full-optimizer spot check: --analysis-jobs is byte-invisible."""
+    icfg = lower_program(load_benchmark(name, scale=SCALE).program)
+    serial = ICBEOptimizer(OptimizerOptions(
+        config=AnalysisConfig(budget=BUDGET))).optimize(icfg)
+    wide = ICBEOptimizer(OptimizerOptions(
+        config=AnalysisConfig(budget=BUDGET),
+        analysis_jobs=4)).optimize(icfg)
+    assert ([(r.branch_id, r.outcome) for r in serial.records]
+            == [(r.branch_id, r.outcome) for r in wide.records]), name
+    assert dump_icfg(serial.optimized) == dump_icfg(wide.optimized), name
+    verify_icfg(wide.optimized)
+
+
+def test_warm_store_speedup_at_scale(benchmark):
+    def full_sweep():
+        check_parallel_equivalence("li_like")
+        return {name: measure(name) for name in benchmark_names()}
+
+    results = benchmark.pedantic(full_sweep, rounds=1, iterations=1)
+    rows = [[name, r["branches"], r["persisted"],
+             f"{r['warm_hits']}/{r['warm_misses']}",
+             round(r["cold_s"], 2), round(r["warm_s"], 2),
+             round(r["cold_s"] / r["warm_s"], 2)]
+            for name, r in results.items()]
+    cold_total = sum(r["cold_s"] for r in results.values())
+    warm_total = sum(r["warm_s"] for r in results.values())
+    speedup = cold_total / warm_total
+    rows.append(["TOTAL", "", "", "", round(cold_total, 2),
+                 round(warm_total, 2), round(speedup, 2)])
+    print()
+    print(render_table(
+        ["benchmark (x8)", "branches", "persisted", "warm hits/misses",
+         "cold [s]", "warm [s]", "speedup"], rows,
+        title=f"Summary store at scale {SCALE} "
+              f"(identical answers cold and warm)"))
+    assert speedup >= MIN_SUITE_SPEEDUP, (
+        f"warm-store suite speedup {speedup:.2f}x < {MIN_SUITE_SPEEDUP}x")

@@ -1,0 +1,84 @@
+"""CI gate: serial vs --analysis-jobs vs summary-store equivalence.
+
+Runs the six suite benchmarks at scale 2 through the optimizer four
+ways — serial, with a 4-way sharded analysis prewarm, with a cold
+summary store, and again warm on the same store — all under
+differential validation, and fails on any divergence in per-branch
+outcomes or in the final optimized graph.  No timing assertions (CI
+machines are noisy); the warm-store speedup gate lives in
+``bench_parallel.py``.
+
+Run:  PYTHONPATH=src python benchmarks/ci_parallel_equivalence.py
+"""
+
+import shutil
+import sys
+import tempfile
+
+from repro.analysis import AnalysisConfig
+from repro.benchgen.suite import benchmark_names, load_benchmark
+from repro.ir import dump_icfg, lower_program, verify_icfg
+from repro.transform import ICBEOptimizer, OptimizerOptions
+
+SCALE = 2
+BUDGET = 1000
+LIMIT = 40
+
+
+def optimize(icfg, jobs=1, store=None):
+    return ICBEOptimizer(OptimizerOptions(
+        config=AnalysisConfig(budget=BUDGET), duplication_limit=LIMIT,
+        diff_check=True, analysis_jobs=jobs,
+        summary_store_dir=store)).optimize(icfg)
+
+
+def check(name):
+    icfg = lower_program(load_benchmark(name, scale=SCALE).program)
+    verify_icfg(icfg)
+    store_root = tempfile.mkdtemp(prefix="icbe-ci-store-")
+    try:
+        serial = optimize(icfg)
+        modes = {"jobs=4": optimize(icfg, jobs=4),
+                 "store(cold)": optimize(icfg, store=store_root),
+                 "store(warm)": optimize(icfg, store=store_root),
+                 "jobs=4+store": optimize(icfg, jobs=4, store=store_root)}
+    finally:
+        shutil.rmtree(store_root, ignore_errors=True)
+    failures = []
+    baseline = [(r.branch_id, r.outcome.value) for r in serial.records]
+    baseline_dump = dump_icfg(serial.optimized)
+    verify_icfg(serial.optimized)
+    for mode, report in modes.items():
+        outcomes = [(r.branch_id, r.outcome.value) for r in report.records]
+        if outcomes != baseline:
+            divergent = [(a, b) for a, b in zip(baseline, outcomes)
+                         if a != b]
+            failures.append(f"{mode}: outcome divergence {divergent[:5]}")
+        if dump_icfg(report.optimized) != baseline_dump:
+            failures.append(f"{mode}: optimized graph differs from serial")
+        verify_icfg(report.optimized)
+    warm = modes["store(warm)"].store
+    store_note = (f"{warm.hits} warm store hits"
+                  if warm is not None else "store stats missing")
+    print(f"{name:15s} {len(serial.records)} conditionals, "
+          f"{serial.optimized_count} optimized, {store_note}: "
+          f"{'ok' if not failures else 'FAIL'}")
+    return failures
+
+
+def main():
+    failed = False
+    for name in benchmark_names():
+        for failure in check(name):
+            print(f"  {name}: {failure}", file=sys.stderr)
+            failed = True
+    if failed:
+        print("parallel/store runs diverged from serial", file=sys.stderr)
+        return 1
+    print("serial, sharded-prewarm, and store-backed runs are identical "
+          "on every benchmark")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

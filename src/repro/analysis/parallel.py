@@ -1,0 +1,343 @@
+"""Sharded, multi-process prewarm of the correlation analysis.
+
+Queries for distinct conditionals are independent, so the expensive
+part of an optimizer run — the demand-driven fixpoints behind each
+branch's summary queries — parallelizes naturally.  What does *not*
+parallelize is the transform: restructuring allocates node ids, and id
+allocation order is part of the byte-identical determinism contract.
+
+This module therefore splits the work where the independence actually
+is.  Worker subprocesses run the *analysis only*, each over one shard
+of branches, into private :class:`~repro.analysis.context.
+AnalysisContext` instances; they ship their completed summary entries
+back as JSON (node references encoded as (proc, local index) pairs so
+they decode in any process holding the identical graph).  The parent
+merges the shards' entries — sorted, first-import-wins, so merge order
+cannot influence the result — into the run's shared context, and then
+executes the ordinary single-process pipeline.  Every merged entry is
+exact (only completed analyses export), and the pipeline's cache
+machinery is already proven outcome-neutral, so ``--analysis-jobs N``
+is byte-identical to serial by construction: the parallel phase can
+only change *when* a summary is computed, never *what* the transform
+does.
+
+Shards follow the call graph: two branches whose procedures are
+weakly connected (caller/callee, transitively) share summaries, so
+they stay in one shard and nothing is computed twice across workers;
+disconnected regions split freely.  Planning is deterministic —
+components are bin-packed largest-first into at most ``jobs`` shards
+with lexicographic tie-breaks.
+
+The process plumbing mirrors the robustness workers: fork-server-free
+``fork`` context (the graph travels by memory inheritance, never
+pickling), atomic result files, join deadlines with terminate/kill
+escalation, and a fresh observability session per child.  A worker
+that dies or times out simply contributes nothing — prewarm is an
+optimization, so every failure mode degrades to "the parent computes
+that shard's summaries itself".
+"""
+
+from __future__ import annotations
+
+import json
+import multiprocessing
+import os
+import tempfile
+import time
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro import obs
+from repro.analysis.config import AnalysisConfig
+from repro.analysis.context import AnalysisContext
+from repro.analysis.driver import analyze_branch
+from repro.analysis.store import SummaryStore
+from repro.ir.icfg import ICFG
+
+#: Default per-worker wall cap.  Analysis budgets bound the work per
+#: query, so this only has to catch pathological stalls.
+DEFAULT_TIMEOUT_S = 120.0
+
+
+# ---------------------------------------------------------------------------
+# Shard planning.
+# ---------------------------------------------------------------------------
+
+
+@dataclass
+class Shard:
+    """One worker's slice: a set of procedures and their branches."""
+
+    index: int
+    procs: List[str] = field(default_factory=list)
+    branch_ids: List[int] = field(default_factory=list)
+
+
+def call_components(icfg: ICFG,
+                    context: Optional[AnalysisContext] = None) -> Dict[str, str]:
+    """proc -> component representative, over the *undirected* call graph.
+
+    Weak connectivity is the right grain: a summary computed in one
+    component can never be consulted while analyzing a branch of
+    another (summaries reach exactly the callee closure, which weak
+    components contain), so shards along component lines never
+    duplicate fixpoint work between workers.
+    """
+    if context is not None:
+        graph = context.callees_of(icfg)
+    else:
+        from repro.analysis.modref import call_graph
+        graph = call_graph(icfg)
+    parent: Dict[str, str] = {name: name for name in icfg.procs}
+
+    def find(name: str) -> str:
+        root = name
+        while parent[root] != root:
+            root = parent[root]
+        while parent[name] != root:
+            parent[name], name = root, parent[name]
+        return root
+
+    def union(a: str, b: str) -> None:
+        ra, rb = find(a), find(b)
+        if ra == rb:
+            return
+        # Smaller name wins the root: deterministic representatives.
+        if rb < ra:
+            ra, rb = rb, ra
+        parent[rb] = ra
+
+    for caller, callees in sorted(graph.items()):
+        for callee in sorted(callees):
+            if caller in parent and callee in parent:
+                union(caller, callee)
+    return {name: find(name) for name in parent}
+
+
+def plan_shards(icfg: ICFG, branch_ids: Sequence[int], jobs: int,
+                context: Optional[AnalysisContext] = None) -> List[Shard]:
+    """Partition ``branch_ids`` into at most ``jobs`` shards.
+
+    Two-level grain.  A weak call-graph component whose branch count
+    fits one shard's fair share stays whole (no summary is ever
+    computed in two workers).  A component too big for that — the
+    normal case: any program whose procedures are all reachable from
+    ``main`` is one component — splits per procedure; workers may then
+    re-derive some shared callee summaries, a wall-clock tax the fan-out
+    pays for, never a correctness risk (each worker's context is
+    private and every exported entry is exact).
+
+    Deterministic: work units are sorted by (branch count descending,
+    name) and greedily assigned to the least-loaded shard, ties to the
+    lowest shard index.  Shards with no branches are dropped, so the
+    result may be shorter than ``jobs``.
+    """
+    component_of = call_components(icfg, context)
+    groups: Dict[Tuple[str, str], List[int]] = {}
+    comp_total: Dict[str, int] = {}
+    for branch_id in sorted(branch_ids):
+        proc = icfg.nodes[branch_id].proc
+        rep = component_of.get(proc)
+        if rep is None:
+            continue
+        groups.setdefault((rep, proc), []).append(branch_id)
+        comp_total[rep] = comp_total.get(rep, 0) + 1
+    total = sum(comp_total.values())
+    fair_share = max(1, -(-total // max(1, jobs)))
+    # A work unit is (sort name, procs, branch ids).
+    units: List[Tuple[str, List[str], List[int]]] = []
+    for rep in sorted(comp_total):
+        if comp_total[rep] <= fair_share:
+            procs = sorted(p for (r, p) in groups if r == rep)
+            merged = sorted(b for (r, _), bs in groups.items()
+                            if r == rep for b in bs)
+            units.append((rep, procs, merged))
+        else:
+            for (r, proc), bs in sorted(groups.items()):
+                if r == rep:
+                    units.append((proc, [proc], list(bs)))
+    units.sort(key=lambda u: (-len(u[2]), u[0]))
+    shards = [Shard(index=i) for i in range(max(1, jobs))]
+    for _, procs, bids in units:
+        target = min(shards, key=lambda s: (len(s.branch_ids), s.index))
+        target.branch_ids.extend(bids)
+        target.procs.extend(procs)
+    planned = [s for s in shards if s.branch_ids]
+    for shard in planned:
+        shard.branch_ids.sort()
+        shard.procs.sort()
+    return planned
+
+
+# ---------------------------------------------------------------------------
+# Worker side.
+# ---------------------------------------------------------------------------
+
+
+def prewarm_worker_main(icfg: ICFG, branch_ids: Sequence[int],
+                        config: AnalysisConfig, store_root: Optional[str],
+                        result_path: str) -> None:
+    """Child entry: analyze one shard, publish its summary entries.
+
+    The graph arrives by fork inheritance and is never mutated (the
+    analysis is read-only), so no copy is taken.  Any crash leaves no
+    result file, which the parent reads as a failed (skipped) shard.
+    """
+    obs.reset()          # a forked child must not append to the
+                         # parent's observability session
+    context = AnalysisContext()
+    context.bind(icfg)
+    if store_root:
+        context.attach_store(SummaryStore(store_root, config))
+    analyzed = 0
+    for branch_id in branch_ids:
+        try:
+            analyze_branch(icfg, branch_id, config, context=context)
+            analyzed += 1
+        except Exception:       # noqa: BLE001 — prewarm is best-effort
+            continue
+    payload = {
+        "analyzed": analyzed,
+        "entries": context.export_summaries(icfg),
+    }
+    tmp_path = result_path + ".tmp"
+    with open(tmp_path, "w", encoding="utf-8") as handle:
+        json.dump(payload, handle, sort_keys=True)
+        handle.flush()
+        os.fsync(handle.fileno())
+    os.replace(tmp_path, result_path)
+
+
+def _analyze_inline(icfg: ICFG, shard: Shard, config: AnalysisConfig,
+                    store: Optional[SummaryStore]) -> dict:
+    """In-process fallback shard run (platforms without fork)."""
+    context = AnalysisContext()
+    context.bind(icfg)
+    if store is not None:
+        context.attach_store(store)
+    analyzed = 0
+    for branch_id in shard.branch_ids:
+        try:
+            analyze_branch(icfg, branch_id, config, context=context)
+            analyzed += 1
+        except Exception:       # noqa: BLE001
+            continue
+    return {"analyzed": analyzed, "entries": context.export_summaries(icfg)}
+
+
+# ---------------------------------------------------------------------------
+# Parent side.
+# ---------------------------------------------------------------------------
+
+
+@dataclass
+class PrewarmReport:
+    """What one parallel prewarm did (fed into obs counters)."""
+
+    jobs: int = 1
+    shards: int = 0
+    branches: int = 0
+    workers: int = 0
+    failures: int = 0
+    merged: int = 0
+    mode: str = "off"
+
+    def publish(self) -> None:
+        if not obs.enabled():
+            return
+        obs.add("parallel.shards", self.shards)
+        obs.add("parallel.branches", self.branches)
+        obs.add("parallel.workers", self.workers)
+        obs.add("parallel.worker_failures", self.failures)
+        obs.add("parallel.summaries_merged", self.merged)
+
+
+def _fork_context():
+    if multiprocessing.current_process().daemon:
+        # Daemonic processes may not fork children; prewarm inline.
+        return None
+    try:
+        return multiprocessing.get_context("fork")
+    except ValueError:           # platforms without fork
+        return None
+
+
+def prewarm_context(icfg: ICFG, config: AnalysisConfig,
+                    context: AnalysisContext, jobs: int,
+                    timeout_s: float = DEFAULT_TIMEOUT_S) -> PrewarmReport:
+    """Populate ``context``'s summary cache using ``jobs`` processes.
+
+    Safe to call with any ``jobs``: below 2, or with fewer than two
+    shards of work, it does nothing (the serial pipeline computes
+    everything itself, exactly as before this module existed).
+    """
+    report = PrewarmReport(jobs=jobs)
+    if jobs < 2 or not context.enabled or not context.in_sync(icfg):
+        return report
+    branch_ids = context.branch_ids(icfg)
+    shards = plan_shards(icfg, branch_ids, jobs, context)
+    report.shards = len(shards)
+    report.branches = sum(len(s.branch_ids) for s in shards)
+    if report.shards < 2:
+        # One connected region: a single worker would just race the
+        # parent to the same fixpoints.  Skip.
+        report.publish()
+        return report
+    store = context.store
+    store_root = store.root if store is not None else None
+    mp_context = _fork_context()
+    with obs.span("analysis.prewarm", jobs=jobs, shards=report.shards):
+        if mp_context is None:
+            report.mode = "inline"
+            payloads = [_analyze_inline(icfg, shard, config, store)
+                        for shard in shards]
+        else:
+            report.mode = "fork"
+            payloads = _run_forked(mp_context, icfg, shards, config,
+                                   store_root, timeout_s, report)
+        with obs.span("analysis.prewarm.merge"):
+            for payload in payloads:
+                if not isinstance(payload, dict):
+                    continue
+                entries = payload.get("entries")
+                if isinstance(entries, list):
+                    report.merged += context.import_summaries(icfg, entries)
+    report.publish()
+    return report
+
+
+def _run_forked(mp_context, icfg: ICFG, shards: List[Shard],
+                config: AnalysisConfig, store_root: Optional[str],
+                timeout_s: float, report: PrewarmReport) -> List[Optional[dict]]:
+    """Launch one forked worker per shard; reap with a deadline."""
+    payloads: List[Optional[dict]] = [None] * len(shards)
+    with tempfile.TemporaryDirectory(prefix="icbe-prewarm-") as tmp_dir:
+        running = []
+        for shard in shards:
+            result_path = os.path.join(tmp_dir, f"shard-{shard.index}.json")
+            process = mp_context.Process(
+                target=prewarm_worker_main,
+                args=(icfg, shard.branch_ids, config, store_root,
+                      result_path),
+                daemon=True)
+            process.start()
+            report.workers += 1
+            running.append((shard, process, result_path))
+        deadline = time.monotonic() + timeout_s
+        for slot, (shard, process, result_path) in enumerate(running):
+            process.join(max(0.0, deadline - time.monotonic()))
+            if process.is_alive():
+                process.terminate()
+                process.join(5.0)
+                if process.is_alive():
+                    process.kill()
+                    process.join()
+            if process.exitcode != 0 or not os.path.exists(result_path):
+                report.failures += 1
+                continue
+            try:
+                with open(result_path, "r", encoding="utf-8") as handle:
+                    payloads[slot] = json.load(handle)
+            except (ValueError, OSError):
+                report.failures += 1
+    return payloads

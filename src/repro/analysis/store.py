@@ -1,0 +1,331 @@
+"""Content-addressed, on-disk persistence of summary-node entries.
+
+The cross-branch summary cache (:mod:`repro.analysis.context`) made
+completed summary-node answers reusable *within* one optimizer run.
+This module makes them reusable *across* runs and *across* programs: a
+:class:`SummaryStore` keys each entry by what the answers can possibly
+depend on — the canonical text of the callee's procedure body plus the
+bodies of its transitive callees, which exit of the callee the summary
+was computed at, the plain query, and the semantic knobs of the
+:class:`~repro.analysis.config.AnalysisConfig` — and nothing else.
+Two different programs that share a callee (the serve-mode common case
+is re-optimizing overlapping programs) share store entries; the same
+program re-optimized tomorrow skips the engine fixpoint entirely.
+
+Node ids are run-local, so nothing id-shaped may enter a key or a
+payload.  :func:`proc_node_order` fixes a canonical per-procedure
+numbering (rank of the node id among the procedure's sorted node ids —
+deterministic because lowering and restructuring allocate ids
+deterministically), and the codec expresses every node reference as a
+``(proc, local index)`` pair.  Decoding translates back through the
+*current* graph's ordering; any reference that does not resolve makes
+the whole entry a miss, never a wrong answer.
+
+Durability follows the serve result cache's discipline: one JSON file
+per entry, written to a temp name, fsynced, atomically renamed.  A torn
+or garbage file — a crashed writer, a truncated disk, a hostile edit —
+is a miss: reads parse defensively and validate a format stamp.
+
+Only *completed* analyses may populate the store (the context enforces
+this, exactly as it does for its in-memory cache), so stored answer
+sets are exact and budget-independent: the budget is deliberately NOT
+part of the key.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import os
+from typing import Dict, FrozenSet, List, Optional, Tuple
+
+from repro.analysis.answers import Answer, answer_set, trans
+from repro.analysis.config import AnalysisConfig
+from repro.analysis.query import Query
+from repro.ir.expr import VarId
+from repro.ir.icfg import ICFG
+from repro.ir.ops import RelOp
+
+#: Bump when the entry payload or the canonicalization scheme changes:
+#: old entries become misses instead of being misread.
+STORE_FORMAT = 1
+
+
+# ---------------------------------------------------------------------------
+# Canonicalization: procedure bodies and node references without node ids.
+# ---------------------------------------------------------------------------
+
+
+def proc_node_order(icfg: ICFG, proc: str) -> List[int]:
+    """The procedure's node ids in canonical (ascending) order.
+
+    A node's *local index* is its rank in this list; it is stable across
+    processes and runs because lowering and the transforms allocate ids
+    deterministically, and it is what the store uses in place of ids.
+    """
+    return sorted(nid for nid, node in icfg.nodes.items()
+                  if node.proc == proc)
+
+
+def canonical_proc_text(icfg: ICFG, proc: str,
+                        local_of: Dict[int, Tuple[str, int]]) -> str:
+    """One procedure's body in id-free canonical text.
+
+    ``local_of`` must already cover every node of every procedure the
+    text may reference (build it over the closure first); cross-procedure
+    edges render as ``proc:index`` so the closure text is self-contained.
+    """
+    info = icfg.procs[proc]
+    params = ",".join(str(p) for p in info.params)
+    entries = ",".join(str(local_of[nid][1]) for nid in info.entries
+                       if nid in local_of)
+    exits = ",".join(str(local_of[nid][1]) for nid in info.exits
+                     if nid in local_of)
+    lines = [f"proc {proc}({params}) entries=[{entries}] exits=[{exits}]"]
+    for nid in proc_node_order(icfg, proc):
+        node = icfg.nodes[nid]
+        succ_parts = []
+        for edge in icfg.succ_edges(nid):
+            target = local_of.get(edge.dst)
+            if target is None:
+                # An edge out of the closure (a CALL into a procedure we
+                # are not hashing).  Name the callee textually; bodies
+                # outside the closure cannot influence the answers.
+                target_text = f"<{icfg.nodes[edge.dst].proc}>"
+            elif target[0] == proc:
+                target_text = str(target[1])
+            else:
+                target_text = f"{target[0]}:{target[1]}"
+            succ_parts.append(f"{edge.kind.value}->{target_text}")
+        lines.append(f"  [{local_of[nid][1]}] {node.label()}  "
+                     f"({', '.join(succ_parts)})")
+    return "\n".join(lines)
+
+
+def closure_locals(icfg: ICFG,
+                   procs: FrozenSet[str]) -> Dict[int, Tuple[str, int]]:
+    """node id -> (proc, local index) over every procedure in ``procs``."""
+    local_of: Dict[int, Tuple[str, int]] = {}
+    for proc in procs:
+        if proc not in icfg.procs:
+            continue
+        for index, nid in enumerate(proc_node_order(icfg, proc)):
+            local_of[nid] = (proc, index)
+    return local_of
+
+
+def canonical_closure_text(icfg: ICFG, procs: FrozenSet[str]) -> str:
+    """The canonical, id-free text of a callee closure (sorted procs)."""
+    local_of = closure_locals(icfg, procs)
+    blocks = [canonical_proc_text(icfg, proc, local_of)
+              for proc in sorted(procs) if proc in icfg.procs]
+    return "\n".join(blocks)
+
+
+def config_fingerprint(config: AnalysisConfig) -> dict:
+    """The semantic subset of the analysis config.
+
+    Everything that can change a *completed* summary's answers belongs
+    here; the budget does not (only completed — untruncated — analyses
+    are stored, and their answer sets are budget-independent).
+    """
+    return {
+        "interprocedural": config.interprocedural,
+        "sources": sorted(s.value for s in config.sources),
+        "copy_substitution": config.copy_substitution,
+        "offset_substitution": config.offset_substitution,
+        "offset_constant_limit": config.offset_constant_limit,
+        "resolve_initialized_globals": config.resolve_initialized_globals,
+    }
+
+
+# ---------------------------------------------------------------------------
+# Codec: queries and answers without node ids.
+# ---------------------------------------------------------------------------
+
+
+def _encode_var(var: VarId) -> list:
+    return [var.scope, var.name]
+
+
+def _decode_var(data) -> VarId:
+    scope, name = data
+    if (scope is not None and not isinstance(scope, str)) \
+            or not isinstance(name, str):
+        raise ValueError("malformed variable")
+    return VarId(scope, name)
+
+
+def encode_query(query: Query,
+                 local_of: Dict[int, Tuple[str, int]]) -> dict:
+    """A query as JSON; the summary tag becomes a (proc, index) pair."""
+    data = {"var": _encode_var(query.var), "relop": query.relop.value,
+            "const": query.const}
+    if query.summary_exit is not None:
+        data["exit"] = list(local_of[query.summary_exit])
+    return data
+
+
+def decode_query(data: dict, node_of: Dict[Tuple[str, int], int]) -> Query:
+    """Rebuild a query against the current graph's node numbering."""
+    exit_ref = data.get("exit")
+    summary_exit = None
+    if exit_ref is not None:
+        summary_exit = node_of[(exit_ref[0], exit_ref[1])]
+    return Query(_decode_var(data["var"]), RelOp(data["relop"]),
+                 int(data["const"]), summary_exit=summary_exit)
+
+
+def encode_answers(answers: FrozenSet[Answer],
+                   local_of: Dict[int, Tuple[str, int]]) -> list:
+    """An answer set as a sorted JSON list (deterministic bytes)."""
+    encoded = []
+    for answer in sorted(answers, key=Answer.sort_key):
+        if answer.is_trans:
+            assert answer.trans_entry is not None
+            assert answer.trans_query is not None
+            encoded.append({"kind": "trans",
+                            "entry": list(local_of[answer.trans_entry]),
+                            "query": encode_query(answer.trans_query,
+                                                  local_of)})
+        else:
+            encoded.append({"kind": answer.kind})
+    return encoded
+
+
+def decode_answers(data: list,
+                   node_of: Dict[Tuple[str, int], int]) -> FrozenSet[Answer]:
+    """Rebuild an answer set; raises on any unresolvable reference or
+    malformed item (callers treat that as a store miss)."""
+    answers = []
+    for item in data:
+        if not isinstance(item, dict):
+            raise ValueError("malformed answer item")
+        kind = item.get("kind")
+        if kind == "trans":
+            entry_ref = item["entry"]
+            entry_id = node_of[(entry_ref[0], entry_ref[1])]
+            answers.append(trans(entry_id,
+                                 decode_query(item["query"], node_of)))
+        elif kind in ("true", "false", "undef"):
+            answers.append(Answer(kind))
+        else:
+            raise ValueError(f"unknown answer kind {kind!r}")
+    return answer_set(answers)
+
+
+# ---------------------------------------------------------------------------
+# The store proper.
+# ---------------------------------------------------------------------------
+
+
+class StoreStats:
+    """Hit/miss/store accounting (published via obs by the context)."""
+
+    __slots__ = ("hits", "misses", "stores", "rejects")
+
+    def __init__(self) -> None:
+        self.hits = 0
+        self.misses = 0
+        self.stores = 0
+        #: Entries found on disk but unusable (torn file, bad format,
+        #: unresolvable node reference) — counted separately so a store
+        #: full of garbage is visible, but always treated as misses.
+        self.rejects = 0
+
+    def snapshot(self) -> dict:
+        return {"hits": self.hits, "misses": self.misses,
+                "stores": self.stores, "rejects": self.rejects}
+
+
+class SummaryStore:
+    """Content-addressed, crash-tolerant summary persistence.
+
+    One instance may be shared by any number of processes operating on
+    the same directory: writes are atomic renames of fsynced temp files
+    keyed by content, so concurrent writers of the same key race
+    harmlessly (every winner wrote the same bytes) and readers never
+    observe a torn entry.
+    """
+
+    def __init__(self, root: str, config: AnalysisConfig) -> None:
+        self.root = root
+        self.fingerprint = config_fingerprint(config)
+        self._fingerprint_text = json.dumps(
+            self.fingerprint, sort_keys=True, separators=(",", ":"))
+        self.stats = StoreStats()
+        os.makedirs(self.root, exist_ok=True)
+
+    # -- keying ----------------------------------------------------------
+
+    def entry_key(self, closure_text: str, callee: str, exit_index: int,
+                  plain_query: Query) -> str:
+        """sha256(callee canonical closure body, exit, interned query)."""
+        digest = hashlib.sha256()
+        for part in (closure_text, f"{callee}:{exit_index}",
+                     f"{plain_query.var} {plain_query.relop} "
+                     f"{plain_query.const}",
+                     self._fingerprint_text):
+            digest.update(part.encode("utf-8"))
+            digest.update(b"\x00")
+        return digest.hexdigest()
+
+    def _path(self, key: str) -> str:
+        return os.path.join(self.root, f"{key}.json")
+
+    # -- IO --------------------------------------------------------------
+
+    def load(self, key: str) -> Optional[list]:
+        """The stored (still-encoded) answer list for ``key``, or None.
+
+        Every failure mode — missing file, unreadable file, torn or
+        hand-mangled JSON, wrong format stamp — is a miss.
+        """
+        path = self._path(key)
+        try:
+            with open(path, "r", encoding="utf-8") as handle:
+                payload = json.load(handle)
+        except FileNotFoundError:
+            self.stats.misses += 1
+            return None
+        except (ValueError, OSError):
+            self.stats.rejects += 1
+            return None
+        if (not isinstance(payload, dict)
+                or payload.get("format") != STORE_FORMAT
+                or not isinstance(payload.get("answers"), list)):
+            self.stats.rejects += 1
+            return None
+        self.stats.hits += 1
+        return payload["answers"]
+
+    def save(self, key: str, encoded_answers: list) -> None:
+        """Persist one entry (atomic; concurrent writers race safely)."""
+        path = self._path(key)
+        if os.path.exists(path):
+            return                      # content-addressed: already there
+        payload = {"format": STORE_FORMAT, "answers": encoded_answers}
+        tmp_path = f"{path}.tmp.{os.getpid()}"
+        try:
+            with open(tmp_path, "w", encoding="utf-8") as handle:
+                json.dump(payload, handle, sort_keys=True,
+                          separators=(",", ":"))
+                handle.flush()
+                os.fsync(handle.fileno())
+            os.replace(tmp_path, path)
+        except OSError:
+            # A full disk or a permissions change must never fail the
+            # analysis; the entry is simply not persisted.
+            try:
+                os.remove(tmp_path)
+            except OSError:
+                pass
+            return
+        self.stats.stores += 1
+
+    def entry_count(self) -> int:
+        try:
+            return sum(1 for name in os.listdir(self.root)
+                       if name.endswith(".json"))
+        except OSError:
+            return 0

@@ -44,6 +44,49 @@ from repro.errors import ServeError
 CACHE_DIR = "cache"
 PROGRAM_DIR = "programs"
 
+#: On-disk entry schema version.  Bump whenever the shape of a cached
+#: result payload changes: a restarted daemon must treat entries a
+#: previous build wrote in an old shape as misses, not serve them
+#: verbatim to clients expecting the new shape.
+CACHE_FORMAT = 1
+
+
+def normalize_fingerprint(fingerprint: dict, path: str = "fingerprint"):
+    """A canonical, hash-stable copy of an option fingerprint.
+
+    ``canonical_key`` feeds the fingerprint through ``json.dumps``, so
+    every value must serialize to exactly the same bytes in every
+    process, forever.  That rules out anything JSON cannot round-trip
+    canonically: NaN and the infinities (non-standard JSON, and NaN
+    breaks equality), and non-string dict keys (sort order across
+    types is a TypeError).  Tuples become lists, integral floats become
+    the integer they equal (``60`` and ``60.0`` are the same option),
+    and any other type is rejected loudly rather than hashed
+    ambiguously.
+    """
+    if isinstance(fingerprint, dict):
+        out = {}
+        for key in sorted(fingerprint, key=str):
+            if not isinstance(key, str):
+                raise ValueError(f"{path}: non-string key {key!r}")
+            out[key] = normalize_fingerprint(fingerprint[key],
+                                             f"{path}.{key}")
+        return out
+    if isinstance(fingerprint, (list, tuple)):
+        return [normalize_fingerprint(v, f"{path}[{i}]")
+                for i, v in enumerate(fingerprint)]
+    if isinstance(fingerprint, float):
+        if fingerprint != fingerprint or fingerprint in (float("inf"),
+                                                         float("-inf")):
+            raise ValueError(f"{path}: non-finite float {fingerprint!r}")
+        if fingerprint.is_integer():
+            return int(fingerprint)
+        return fingerprint
+    if fingerprint is None or isinstance(fingerprint, (bool, int, str)):
+        return fingerprint
+    raise ValueError(f"{path}: unhashable option value "
+                     f"{type(fingerprint).__name__}({fingerprint!r})")
+
 
 @dataclass
 class Submission:
@@ -57,11 +100,18 @@ class Submission:
 
 
 def canonical_key(dump_text: str, fingerprint: dict) -> str:
-    """The content address of one (program, option-set) pair."""
+    """The content address of one (program, option-set) pair.
+
+    The fingerprint is normalized first (see
+    :func:`normalize_fingerprint`): equal option sets must produce
+    equal keys in every process, and option sets that cannot be hashed
+    stably raise instead of silently colliding or diverging.
+    """
     digest = hashlib.sha256()
     digest.update(dump_text.encode("utf-8"))
     digest.update(b"\x00")
-    digest.update(json.dumps(fingerprint, sort_keys=True,
+    digest.update(json.dumps(normalize_fingerprint(fingerprint),
+                             sort_keys=True, allow_nan=False,
                              separators=(",", ":")).encode("utf-8"))
     return digest.hexdigest()
 
@@ -141,18 +191,44 @@ def _spool_program(run_dir: str, key: str, source: str) -> str:
 
 
 class ResultCache:
-    """Two-level (memory + disk) store of finished OK results."""
+    """Two-level (memory + disk) store of finished OK results.
 
-    def __init__(self, run_dir: str, persist: bool = True) -> None:
+    Disk entries are wrapped in a versioned envelope —
+    ``{"format": CACHE_FORMAT, "fingerprint": ..., "result": ...}`` —
+    so a daemon restarted after an upgrade never serves a stale-shaped
+    report verbatim: an entry whose format stamp or fingerprint echo
+    disagrees with this daemon is a miss (and counted as a rejection).
+    The fingerprint echo is defence in depth on top of the key: the key
+    already folds the fingerprint in, but the echo survives even if the
+    keying scheme itself changes between builds.
+    """
+
+    def __init__(self, run_dir: str, persist: bool = True,
+                 fingerprint: Optional[dict] = None) -> None:
         self.run_dir = run_dir
         self.persist = persist
+        self.fingerprint = (normalize_fingerprint(fingerprint)
+                            if fingerprint is not None else None)
         self._memory: dict = {}
         self.hits = 0
         self.misses = 0
         self.stores = 0
+        self.rejects = 0
 
     def _path(self, key: str) -> str:
         return os.path.join(self.run_dir, CACHE_DIR, f"{key}.json")
+
+    def _accept(self, envelope) -> Optional[dict]:
+        """Unwrap a disk envelope, or None if this daemon must not
+        serve it (wrong shape, format version, or option echo)."""
+        if (not isinstance(envelope, dict)
+                or envelope.get("format") != CACHE_FORMAT
+                or not isinstance(envelope.get("result"), dict)):
+            return None
+        if (self.fingerprint is not None
+                and envelope.get("fingerprint") != self.fingerprint):
+            return None
+        return envelope["result"]
 
     def get(self, key: str) -> Optional[dict]:
         """The cached result payload for ``key``, or None."""
@@ -162,10 +238,14 @@ class ResultCache:
             if os.path.exists(path):
                 try:
                     with open(path, "r", encoding="utf-8") as handle:
-                        entry = json.load(handle)
+                        envelope = json.load(handle)
                 except (ValueError, OSError):
-                    entry = None     # torn/corrupt entry == miss
-                else:
+                    envelope = None  # torn/corrupt entry == miss
+                entry = self._accept(envelope)
+                if entry is None and envelope is not None:
+                    self.rejects += 1
+                    obs.add("serve.cache.reject")
+                if entry is not None:
                     self._memory[key] = entry
         if entry is None:
             self.misses += 1
@@ -185,13 +265,17 @@ class ResultCache:
             return
         path = self._path(key)
         os.makedirs(os.path.dirname(path), exist_ok=True)
+        envelope = {"format": CACHE_FORMAT,
+                    "fingerprint": self.fingerprint,
+                    "result": entry}
         tmp_path = f"{path}.tmp.{os.getpid()}"
         with open(tmp_path, "w", encoding="utf-8") as handle:
-            json.dump(entry, handle, sort_keys=True)
+            json.dump(envelope, handle, sort_keys=True)
             handle.flush()
             os.fsync(handle.fileno())
         os.replace(tmp_path, path)
 
     def stats(self) -> dict:
         return {"entries": len(self._memory), "hits": self.hits,
-                "misses": self.misses, "stores": self.stores}
+                "misses": self.misses, "stores": self.stores,
+                "rejects": self.rejects}

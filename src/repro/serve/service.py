@@ -63,7 +63,8 @@ class OptimizationService:
     def __init__(self, options: ServeOptions) -> None:
         self.options = options
         self.journal = ServeJournal(options.run_dir)
-        self.cache = ResultCache(options.run_dir)
+        self.cache = ResultCache(options.run_dir,
+                                 fingerprint=options.fingerprint())
         self.queue = BoundedJobQueue(options.queue_limit,
                                      workers=max(1, options.workers))
         self.limiter = RateLimiter(options.rate_capacity,
@@ -288,6 +289,8 @@ class OptimizationService:
                 "inject": job.inject,
                 "faults": [],
                 "strict": False,
+                "analysis_jobs": opts.analysis_jobs,
+                "summary_store": opts.summary_store,
                 "trace": obs.enabled()}
 
     def _derived_seed(self, key: str, purpose: str) -> int:

@@ -1,0 +1,143 @@
+"""Regression tests for the snapshot-restore cache-invalidation hole.
+
+The analysis context keys every cached fact to the graph's mutation
+``generation``.  Generations alone stop identifying states once a
+snapshot restore rewinds the counter: fresh mutations on the restored
+graph re-use generation numbers the pre-restore lineage already spent,
+so a context synced at generation ``G`` could watch a restore land
+*below* ``G``, see new edits climb back past ``G``, and then serve
+summaries computed against procedure bodies that no longer exist.
+
+The fix stamps every restore into a fresh lineage epoch
+(``ICFG.restore_token``) with provenance (``restored_from_token``,
+``restored_generation``); the context only trusts a new epoch when the
+restore landed exactly on the cached state, and rebinds otherwise.
+"""
+
+from tests.helpers import build
+
+from repro.analysis import AnalysisConfig, analyze_branch
+from repro.analysis.context import AnalysisContext
+from repro.analysis.query import Query
+from repro.ir.expr import VarId
+from repro.ir.nodes import NopNode
+from repro.robustness.snapshot import ICFGSnapshot
+
+CONFIG = AnalysisConfig(budget=100_000)
+
+SOURCE = """
+    global err = 0;
+    proc may_fail(v) {
+        if (v < 0) { err = 1; return 0; }
+        err = 0;
+        return v;
+    }
+    proc wrapper(v) {
+        return may_fail(v);
+    }
+    proc main() {
+        var a = wrapper(input());
+        if (err == 1) { print 1; }
+        var b = wrapper(input());
+        if (err == 1) { print 2; }
+    }
+"""
+
+
+def populated_context(icfg):
+    context = AnalysisContext()
+    context.bind(icfg)
+    branch = next(b.id for b in icfg.branch_nodes() if b.proc == "main")
+    analyze_branch(icfg, branch, CONFIG, context=context)
+    assert context.summary_count() > 0
+    return context
+
+
+def touch(icfg, proc):
+    icfg.add_node(NopNode(icfg.new_id(), proc))
+
+
+def test_restore_below_cached_generation_drops_the_cache():
+    """The original hole: snapshot below the cached generation, restore,
+    then climb the generation back past the cached one with edits that
+    never touch the summarized callee.  The generation guard alone would
+    keep the (now stale) entries; the lineage check must not."""
+    icfg = build(SOURCE)
+    context = populated_context(icfg)
+    snapshot = ICFGSnapshot.take(icfg)
+
+    # Advance the cache past the snapshot: dirty the callee and commit.
+    touch(icfg, "may_fail")
+    context.commit(icfg)
+    cached_generation = context.generation
+    assert cached_generation == icfg.generation
+    branch = next(b.id for b in icfg.branch_nodes() if b.proc == "main")
+    analyze_branch(icfg, branch, CONFIG, context=context)
+    assert context.summary_count() > 0
+
+    # A heal-style restore rewinds below the cached generation...
+    snapshot.restore(into=icfg)
+    assert icfg.generation < cached_generation
+    # ...and unrelated edits climb back past it on the new lineage.
+    while icfg.generation <= cached_generation:
+        touch(icfg, "main")
+
+    # Same generation ordering the old guard accepted — but the cached
+    # summaries describe a may_fail body this lineage never had.
+    context.commit(icfg)
+    assert context.summary_count() == 0
+    assert context.in_sync(icfg)  # rebound, not wedged
+    q = Query(VarId(None, "err"), "==", 1)
+    exit_id = icfg.procs["may_fail"].exits[0]
+    assert context.lookup_summary(icfg, "may_fail", exit_id, q) is None
+
+
+def test_restore_onto_the_cached_state_keeps_the_cache():
+    """A rollback that lands exactly on the cached (token, generation)
+    is the benign, common case: the cache adopts the new epoch and every
+    entry survives."""
+    icfg = build(SOURCE)
+    context = populated_context(icfg)
+    stored = context.summary_count()
+    snapshot = ICFGSnapshot.take(icfg)
+
+    touch(icfg, "may_fail")      # uncommitted transaction...
+    snapshot.restore(into=icfg)  # ...rolled back
+    context.rollback(icfg)
+
+    assert context.summary_count() == stored
+    assert context.in_sync(icfg)
+    second = [b.id for b in icfg.branch_nodes() if b.proc == "main"][1]
+    result = analyze_branch(icfg, second, CONFIG, context=context)
+    assert result.stats.summary_cache_hits > 0
+
+
+def test_restore_onto_a_foreign_generation_rebinds():
+    """Restoring a snapshot from *before* the cached state (same lineage,
+    different generation) must resynchronise rather than trust entries
+    for bodies the restored graph does not have."""
+    icfg = build(SOURCE)
+    context = populated_context(icfg)
+    snapshot = ICFGSnapshot.take(icfg)
+    touch(icfg, "may_fail")
+    context.commit(icfg)         # cache now ahead of the snapshot
+
+    snapshot.restore(into=icfg)
+    context.rollback(icfg)
+
+    assert context.summary_count() == 0
+    assert context.in_sync(icfg)
+
+
+def test_clone_carries_the_lineage_stamp():
+    icfg = build(SOURCE)
+    context = populated_context(icfg)
+    snapshot = ICFGSnapshot.take(icfg)
+    touch(icfg, "main")
+    snapshot.restore(into=icfg)
+    clone = icfg.clone()
+    assert clone.restore_token == icfg.restore_token
+    assert clone.restored_generation == icfg.restored_generation
+    assert clone.restored_from_token == icfg.restored_from_token
+    context.rollback(icfg)
+    assert context.in_sync(icfg) and context.in_sync(clone)

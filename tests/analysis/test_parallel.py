@@ -1,0 +1,174 @@
+"""Shard planning and the multi-process analysis prewarm."""
+
+from tests.helpers import build
+
+from repro.analysis import AnalysisConfig, analyze_branch
+from repro.analysis.context import AnalysisContext
+from repro.analysis.parallel import (PrewarmReport, call_components,
+                                     plan_shards, prewarm_context)
+from repro.analysis.store import SummaryStore
+from repro.ir.nodes import NopNode
+
+CONFIG = AnalysisConfig(budget=100_000)
+
+CONNECTED = """
+    global err = 0;
+    proc may_fail(v) {
+        if (v < 0) { err = 1; return 0; }
+        err = 0;
+        return v;
+    }
+    proc wrapper(v) {
+        return may_fail(v);
+    }
+    proc other(v) {
+        if (v > 10) { return 1; }
+        return 0;
+    }
+    proc main() {
+        var a = wrapper(input());
+        if (err == 1) { print 1; }
+        var b = other(input());
+        if (b == 1) { print 2; }
+        var c = wrapper(input());
+        if (err == 0) { print 3; }
+        if (c > 0) { print 4; }
+    }
+"""
+
+# Three call-graph islands: main never calls the helpers.
+ISLANDS = """
+    proc island_a(v) {
+        if (v > 1) { return 1; }
+        return 0;
+    }
+    proc island_b(v) {
+        if (v > 2) { return 1; }
+        return 0;
+    }
+    proc main() {
+        var v = input();
+        if (v > 0) { print 1; }
+        return 0;
+    }
+"""
+
+
+def bound(icfg):
+    context = AnalysisContext()
+    context.bind(icfg)
+    return context
+
+
+def all_branches(icfg):
+    return sorted(b.id for b in icfg.branch_nodes())
+
+
+def test_components_are_deterministic_and_weakly_connected():
+    icfg = build(CONNECTED)
+    components = call_components(icfg)
+    # Everything reachable from main is one component, rooted at the
+    # lexicographically smallest member.
+    assert len(set(components.values())) == 1
+    assert components == call_components(build(CONNECTED))
+
+    islands = call_components(build(ISLANDS))
+    assert len(set(islands.values())) == 3
+
+
+def test_plan_covers_every_branch_exactly_once():
+    icfg = build(CONNECTED)
+    branches = all_branches(icfg)
+    for jobs in (1, 2, 3, 4, 16):
+        shards = plan_shards(icfg, branches, jobs, bound(icfg))
+        planned = [b for s in shards for b in s.branch_ids]
+        assert sorted(planned) == branches
+        assert len(planned) == len(branches)
+        assert len(shards) <= max(1, jobs)
+        again = plan_shards(icfg, branches, jobs, bound(icfg))
+        assert [(s.procs, s.branch_ids) for s in shards] \
+            == [(s.procs, s.branch_ids) for s in again]
+
+
+def test_one_connected_component_still_fans_out():
+    """Any whole program is one weak component; the planner must split
+    it per-procedure rather than collapse to a single shard."""
+    icfg = build(CONNECTED)
+    shards = plan_shards(icfg, all_branches(icfg), 3, bound(icfg))
+    assert len(shards) >= 2
+
+
+def test_small_components_stay_whole():
+    icfg = build(ISLANDS)
+    shards = plan_shards(icfg, all_branches(icfg), 3, bound(icfg))
+    assert len(shards) == 3
+    for shard in shards:
+        # Each island's lone branch travels with its own procedure.
+        assert len(shard.branch_ids) == 1
+
+
+def prewarm_and_check(icfg, jobs, **kwargs):
+    context = bound(icfg)
+    report = prewarm_context(icfg, CONFIG, context, jobs, **kwargs)
+    # Whatever the prewarm did, cached analysis must agree with fresh.
+    for branch in all_branches(icfg):
+        if icfg.nodes[branch].proc != "main":
+            continue
+        warm = analyze_branch(icfg, branch, CONFIG, context=context)
+        fresh = analyze_branch(icfg, branch, CONFIG)
+        assert warm.branch_answers == fresh.branch_answers
+    return context, report
+
+
+def test_prewarm_merges_worker_summaries():
+    icfg = build(CONNECTED)
+    context, report = prewarm_and_check(icfg, jobs=2)
+    assert report.mode in ("fork", "inline")
+    assert report.shards >= 2
+    assert report.merged > 0
+    assert context.summary_count() >= report.merged
+
+
+def test_prewarm_inline_fallback(monkeypatch):
+    from repro.analysis import parallel
+    monkeypatch.setattr(parallel, "_fork_context", lambda: None)
+    icfg = build(CONNECTED)
+    context, report = prewarm_and_check(icfg, jobs=2)
+    assert report.mode == "inline"
+    assert report.merged > 0
+
+
+def test_prewarm_below_two_jobs_is_a_noop():
+    icfg = build(CONNECTED)
+    context = bound(icfg)
+    report = prewarm_context(icfg, CONFIG, context, jobs=1)
+    assert report.mode == "off"
+    assert report.workers == 0
+    assert context.summary_count() == 0
+
+
+def test_prewarm_stands_aside_when_out_of_sync():
+    icfg = build(CONNECTED)
+    context = bound(icfg)
+    icfg.add_node(NopNode(icfg.new_id(), "main"))  # uncommitted edit
+    report = prewarm_context(icfg, CONFIG, context, jobs=2)
+    assert report.mode == "off"
+    assert context.summary_count() == 0
+
+
+def test_prewarm_workers_write_through_the_store(tmp_path):
+    icfg = build(CONNECTED)
+    context = bound(icfg)
+    store = SummaryStore(str(tmp_path / "store"), CONFIG)
+    context.attach_store(store)
+    report = prewarm_context(icfg, CONFIG, context, jobs=2)
+    assert report.merged > 0
+    # Workers persist as they analyze (fork mode writes from the
+    # children; inline mode through the shared store object).
+    assert store.entry_count() > 0
+
+
+def test_prewarm_report_publishes_counters():
+    report = PrewarmReport(jobs=2, shards=2, branches=4, workers=2,
+                           failures=1, merged=3, mode="fork")
+    report.publish()  # obs disabled: must be a silent no-op

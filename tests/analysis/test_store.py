@@ -1,0 +1,185 @@
+"""The on-disk, content-addressed summary store."""
+
+import json
+import os
+
+from tests.helpers import build
+
+from repro.analysis import AnalysisConfig, analyze_branch
+from repro.analysis.answers import FALSE, TRUE, answer_set, trans
+from repro.analysis.context import AnalysisContext
+from repro.analysis.query import Query
+from repro.analysis.store import (STORE_FORMAT, SummaryStore,
+                                  canonical_closure_text, closure_locals,
+                                  config_fingerprint, decode_answers,
+                                  decode_query, encode_answers, encode_query)
+from repro.ir.expr import VarId
+from repro.ir.ops import RelOp
+
+CONFIG = AnalysisConfig(budget=100_000)
+
+SOURCE = """
+    global err = 0;
+    proc may_fail(v) {
+        if (v < 0) { err = 1; return 0; }
+        err = 0;
+        return v;
+    }
+    proc wrapper(v) {
+        return may_fail(v);
+    }
+    proc main() {
+        var a = wrapper(input());
+        if (err == 1) { print 1; }
+        var b = wrapper(input());
+        if (err == 1) { print 2; }
+    }
+"""
+
+
+def analyze_all(icfg, store):
+    """One full analysis pass over main's branches, store attached."""
+    context = AnalysisContext()
+    context.bind(icfg)
+    context.attach_store(store)
+    results = []
+    for branch in [b.id for b in icfg.branch_nodes() if b.proc == "main"]:
+        results.append(analyze_branch(icfg, branch, CONFIG, context=context))
+    return [(r.branch_id, r.branch_answers) for r in results]
+
+
+def test_cold_run_populates_warm_run_hits(tmp_path):
+    root = str(tmp_path / "store")
+    icfg = build(SOURCE)
+    cold_store = SummaryStore(root, CONFIG)
+    cold = analyze_all(icfg, cold_store)
+    assert cold_store.stats.stores > 0
+    assert cold_store.entry_count() == cold_store.stats.stores
+
+    # A fresh process (modelled by a fresh graph + context) hits.
+    warm_icfg = build(SOURCE)
+    warm_store = SummaryStore(root, CONFIG)
+    warm = analyze_all(warm_icfg, warm_store)
+    assert warm_store.stats.hits > 0
+    assert warm_store.stats.stores == 0        # nothing new to learn
+    assert warm == cold                        # identical answers
+
+
+def test_corrupt_entries_are_misses_not_crashes(tmp_path):
+    root = str(tmp_path / "store")
+    icfg = build(SOURCE)
+    baseline = analyze_all(icfg, SummaryStore(root, CONFIG))
+    entries = [os.path.join(root, name) for name in os.listdir(root)]
+    assert entries
+    # Mangle every entry a different way: torn JSON, garbage bytes,
+    # wrong format stamp, wrong payload shape.
+    mutations = ['{"format": 1, "answers": [',
+                 "\x00\x01not json at all",
+                 json.dumps({"format": STORE_FORMAT + 1, "answers": []}),
+                 json.dumps({"format": STORE_FORMAT, "answers": "nope"})]
+    for index, path in enumerate(sorted(entries)):
+        with open(path, "w", encoding="utf-8") as handle:
+            handle.write(mutations[index % len(mutations)])
+
+    poisoned = SummaryStore(root, CONFIG)
+    warm = analyze_all(build(SOURCE), poisoned)
+    assert warm == baseline
+    assert poisoned.stats.hits == 0
+    assert poisoned.stats.rejects > 0
+
+
+def test_unresolvable_references_are_rejected(tmp_path):
+    """An entry whose node references do not decode against this graph
+    (e.g. written by a different program that collided somehow) is a
+    reject, not a crash and not a hit."""
+    root = str(tmp_path / "store")
+    icfg = build(SOURCE)
+    store = SummaryStore(root, CONFIG)
+    analyze_all(icfg, store)
+    for name in os.listdir(root):
+        path = os.path.join(root, name)
+        payload = {"format": STORE_FORMAT,
+                   "answers": [{"kind": "trans", "entry": ["no_such", 99],
+                                "query": {"var": [None, "x"], "relop": "==",
+                                          "const": 0}}]}
+        with open(path, "w", encoding="utf-8") as handle:
+            json.dump(payload, handle)
+    poisoned = SummaryStore(root, CONFIG)
+    warm = analyze_all(build(SOURCE), poisoned)
+    assert warm == analyze_all(build(SOURCE), SummaryStore(
+        str(tmp_path / "clean"), CONFIG))
+    assert poisoned.stats.hits == 0
+    assert poisoned.stats.rejects > 0
+
+
+def test_budget_is_not_part_of_the_key():
+    """Stored entries are exact (only completed analyses persist), so
+    runs under different budgets must share them."""
+    small = config_fingerprint(AnalysisConfig(budget=10))
+    large = config_fingerprint(AnalysisConfig(budget=1_000_000))
+    assert small == large
+    assert "budget" not in small
+
+
+def test_semantic_config_changes_the_key(tmp_path):
+    base = AnalysisConfig(budget=100)
+    assert (config_fingerprint(base)
+            != config_fingerprint(AnalysisConfig(budget=100,
+                                                 interprocedural=False)))
+    icfg = build(SOURCE)
+    closure = frozenset(icfg.procs)
+    text = canonical_closure_text(icfg, closure)
+    query = Query(VarId(None, "err"), "==", 1)
+    a = SummaryStore(str(tmp_path / "a"), base)
+    b = SummaryStore(str(tmp_path / "b"),
+                     AnalysisConfig(budget=100, interprocedural=False))
+    assert (a.entry_key(text, "may_fail", 0, query)
+            != b.entry_key(text, "may_fail", 0, query))
+    # Same config, same everything: same content address.
+    assert (a.entry_key(text, "may_fail", 0, query)
+            == SummaryStore(str(tmp_path / "c"),
+                            AnalysisConfig(budget=7))
+            .entry_key(text, "may_fail", 0, query))
+
+
+def test_closure_text_is_body_sensitive_and_name_stable():
+    icfg = build(SOURCE)
+    closure = frozenset({"may_fail"})
+    text = canonical_closure_text(icfg, closure)
+    # Stable across a fresh lowering of the same source (node ids are
+    # renumbered locally, so absolute ids cannot leak in).
+    assert canonical_closure_text(build(SOURCE), closure) == text
+    # Sensitive to the body actually changing.
+    changed = build(SOURCE.replace("err = 0;\n        return v;",
+                                   "err = 2;\n        return v;"))
+    assert canonical_closure_text(changed, closure) != text
+
+
+def test_save_is_idempotent_and_load_round_trips(tmp_path):
+    store = SummaryStore(str(tmp_path / "s"), CONFIG)
+    encoded = [["true"], ["false"]]
+    store.save("deadbeef", encoded)
+    store.save("deadbeef", [["undef"]])        # content-addressed: kept
+    assert store.stats.stores == 1
+    assert store.entry_count() == 1
+    assert store.load("deadbeef") == encoded
+    assert store.stats.hits == 1
+    assert store.load("cafebabe") is None
+    assert store.stats.misses == 1
+
+
+def test_codec_round_trips_every_answer_kind():
+    icfg = build(SOURCE)
+    local_of = closure_locals(icfg, frozenset(icfg.procs))
+    node_of = {ref: nid for nid, ref in local_of.items()}
+    entry = icfg.procs["may_fail"].entries[0]
+    exit_id = icfg.procs["may_fail"].exits[0]
+    variant = Query(VarId(None, "err"), RelOp.EQ, 1)
+    summary = variant.as_summary(exit_id)
+    answers = answer_set([TRUE, FALSE, trans(entry, variant)])
+
+    encoded = encode_answers(answers, local_of)
+    assert decode_answers(json.loads(json.dumps(encoded)), node_of) == answers
+    q_encoded = encode_query(summary, local_of)
+    decoded = decode_query(json.loads(json.dumps(q_encoded)), node_of)
+    assert decoded == summary

@@ -1,0 +1,157 @@
+"""Serial/parallel and cold/warm-store equivalence, property-style.
+
+``--analysis-jobs N`` only *prewarms* the shared analysis context (the
+transform stays single-process), and the summary store only changes
+*where* a completed summary is found, never what it says.  Both are
+therefore held to the same contract as the in-memory cache: for any
+program — fault-free or under a random fault plan — per-branch outcomes
+and the optimized graph must be byte-identical to a plain serial run,
+and a store full of torn or garbage entries must degrade to misses,
+never to different output.
+
+Fault-plan scope matches ``test_cache_equivalence``: ``analysis:pair``
+is excluded (cache temperature changes per-pair hit counts by design;
+a prewarmed context is simply a warmer cache).
+"""
+
+import json
+import os
+import tempfile
+
+from hypothesis import given, settings, strategies as st
+
+from repro.analysis import AnalysisConfig
+from repro.benchgen import GeneratorOptions, generate_program
+from repro.ir import dump_icfg, lower_program, verify_icfg
+from repro.robustness import CORRUPTION_ACTIONS, FaultPlan, FaultSpec
+from repro.robustness.supervisor import (REPORT_NAME, SupervisorOptions,
+                                         run_batch)
+from repro.transform import ICBEOptimizer, OptimizerOptions
+
+OPTIONS = GeneratorOptions(procedures=4, statements_per_proc=7)
+
+RAISE_SITES = ("transform:split", "transform:eliminate", "transform:verify",
+               "pipeline:branch-start", "pipeline:simplify", "diffcheck:run")
+CORRUPT_SITES = ("transform:split", "transform:eliminate",
+                 "transform:verify", "pipeline:simplify")
+
+fault_specs = st.one_of(
+    st.builds(FaultSpec, site=st.sampled_from(RAISE_SITES),
+              hit=st.integers(1, 4), action=st.just("raise")),
+    st.builds(FaultSpec, site=st.sampled_from(CORRUPT_SITES),
+              hit=st.integers(1, 4),
+              action=st.sampled_from(CORRUPTION_ACTIONS),
+              seed=st.integers(0, 99)))
+
+
+def run_mode(icfg, budget, jobs=1, store_dir=None, specs=()):
+    plan = FaultPlan(list(specs)) if specs else None
+    optimizer = ICBEOptimizer(OptimizerOptions(
+        config=AnalysisConfig(budget=budget), diff_check=True,
+        fault_plan=plan, analysis_jobs=jobs, summary_store_dir=store_dir))
+    return optimizer.optimize(icfg)
+
+
+def assert_equivalent(baseline, candidate):
+    assert ([(r.branch_id, r.outcome) for r in candidate.records]
+            == [(r.branch_id, r.outcome) for r in baseline.records])
+    assert dump_icfg(candidate.optimized) == dump_icfg(baseline.optimized)
+    verify_icfg(candidate.optimized)
+
+
+@given(seed=st.integers(0, 4_000), budget=st.sampled_from((80, 10_000)))
+@settings(max_examples=8, deadline=None)
+def test_analysis_jobs_are_invisible(seed, budget):
+    icfg = lower_program(generate_program(seed, OPTIONS))
+    pristine = dump_icfg(icfg)
+    serial = run_mode(icfg, budget, jobs=1)
+    for jobs in (2, 4):
+        assert_equivalent(serial, run_mode(icfg, budget, jobs=jobs))
+    assert dump_icfg(icfg) == pristine
+
+
+@given(seed=st.integers(0, 4_000),
+       specs=st.lists(fault_specs, min_size=1, max_size=3),
+       budget=st.sampled_from((80, 10_000)))
+@settings(max_examples=8, deadline=None)
+def test_analysis_jobs_are_invisible_under_fault_plans(seed, specs, budget):
+    icfg = lower_program(generate_program(seed, OPTIONS))
+    serial = run_mode(icfg, budget, specs=specs)
+    assert_equivalent(serial, run_mode(icfg, budget, jobs=4, specs=specs))
+
+
+@given(seed=st.integers(0, 4_000), budget=st.sampled_from((80, 10_000)))
+@settings(max_examples=6, deadline=None)
+def test_summary_store_is_invisible_cold_and_warm(seed, budget):
+    icfg = lower_program(generate_program(seed, OPTIONS))
+    serial = run_mode(icfg, budget)
+    with tempfile.TemporaryDirectory(prefix="icbe-store-") as root:
+        cold = run_mode(icfg, budget, store_dir=root)       # populates
+        warm = run_mode(icfg, budget, store_dir=root)       # consumes
+        both = run_mode(icfg, budget, jobs=2, store_dir=root)
+        for candidate in (cold, warm, both):
+            assert_equivalent(serial, candidate)
+        if warm.store is not None and cold.store.stores > 0:
+            assert warm.store.hits > 0
+
+
+@given(seed=st.integers(0, 2_000), corruption=st.integers(0, 3))
+@settings(max_examples=6, deadline=None)
+def test_corrupted_store_degrades_to_misses(seed, corruption):
+    icfg = lower_program(generate_program(seed, OPTIONS))
+    serial = run_mode(icfg, 10_000)
+    garbage = ['{"format": 1, "answers": [',
+               "not json",
+               json.dumps({"format": 999, "answers": []}),
+               json.dumps({"format": 1, "answers": [{"kind": "trans",
+                                                     "entry": ["gone", 7]}]})]
+    with tempfile.TemporaryDirectory(prefix="icbe-store-") as root:
+        run_mode(icfg, 10_000, store_dir=root)
+        for name in os.listdir(root):
+            path = os.path.join(root, name)
+            with open(path, "w", encoding="utf-8") as handle:
+                handle.write(garbage[corruption])
+        poisoned = run_mode(icfg, 10_000, store_dir=root)
+        assert_equivalent(serial, poisoned)
+        if poisoned.store is not None:
+            assert poisoned.store.hits == 0
+
+
+PROGRAM = """
+proc classify(v) {
+    if (v <= 0) { return 0; }
+    return v;
+}
+proc main() {
+    var r = classify(input());
+    if (r == 0) { print 0; } else { print r; }
+    return 0;
+}
+"""
+
+
+def test_batch_journal_bytes_survive_analysis_jobs(tmp_path):
+    """The whole-batch artifact check: journal and report bytes are
+    identical whether attempts prewarm in parallel or not."""
+    program = tmp_path / "prog.mc"
+    program.write_text(PROGRAM)
+    sources = [str(program), "suite:compress_like@1"]
+
+    def batch(run_dir, analysis_jobs, store=None):
+        run_batch(sources, str(run_dir), options=SupervisorOptions(
+            isolation="inprocess", timeout_s=60.0, backoff_base_s=0.0,
+            seed=6, analysis_jobs=analysis_jobs, summary_store=store))
+
+    def artifact(run_dir, name):
+        with open(os.path.join(str(run_dir), name), "rb") as handle:
+            return handle.read()
+
+    batch(tmp_path / "serial", 1)
+    batch(tmp_path / "wide", 4)
+    batch(tmp_path / "stored", 4, store=str(tmp_path / "store"))
+    batch(tmp_path / "warmed", 4, store=str(tmp_path / "store"))
+    for run_dir in ("wide", "stored", "warmed"):
+        assert (artifact(tmp_path / run_dir, "journal.jsonl")
+                == artifact(tmp_path / "serial", "journal.jsonl"))
+        assert (artifact(tmp_path / run_dir, REPORT_NAME)
+                == artifact(tmp_path / "serial", REPORT_NAME))

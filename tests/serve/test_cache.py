@@ -6,7 +6,8 @@ import os
 import pytest
 
 from repro.errors import ParseError, ServeError
-from repro.serve.cache import (ResultCache, Submission, canonical_key,
+from repro.serve.cache import (CACHE_FORMAT, ResultCache, Submission,
+                               canonical_key, normalize_fingerprint,
                                resolve_submission)
 
 FINGERPRINT = {"budget": 1000, "duplication_limit": 100,
@@ -92,6 +93,66 @@ def test_corrupt_disk_entry_is_a_miss(tmp_path):
         handle.write('{"status": "OK"')  # torn write
     fresh = ResultCache(str(tmp_path))
     assert fresh.get("k1") is None
-    # And an in-memory put repairs it.
+    # And an in-memory put repairs it (in the versioned envelope).
     fresh.put("k1", {"status": "OK"})
-    assert json.load(open(path))["status"] == "OK"
+    envelope = json.load(open(path))
+    assert envelope["format"] == CACHE_FORMAT
+    assert envelope["result"]["status"] == "OK"
+
+
+def test_unversioned_disk_entry_is_a_rejected_miss(tmp_path):
+    """An entry written by a pre-envelope build (a bare result dict)
+    must not be served verbatim after an upgrade."""
+    cache_dir = tmp_path / "cache"
+    cache_dir.mkdir()
+    with open(cache_dir / "k1.json", "w", encoding="utf-8") as handle:
+        json.dump({"status": "OK", "tier": 0}, handle)
+    cache = ResultCache(str(tmp_path), fingerprint=FINGERPRINT)
+    assert cache.get("k1") is None
+    assert cache.stats()["rejects"] == 1
+    assert cache.stats()["misses"] == 1
+
+
+def test_wrong_format_stamp_is_a_rejected_miss(tmp_path):
+    cache = ResultCache(str(tmp_path), fingerprint=FINGERPRINT)
+    cache.put("k1", {"status": "OK"})
+    path = os.path.join(str(tmp_path), "cache", "k1.json")
+    envelope = json.load(open(path))
+    envelope["format"] = CACHE_FORMAT + 1
+    with open(path, "w", encoding="utf-8") as handle:
+        json.dump(envelope, handle)
+    fresh = ResultCache(str(tmp_path), fingerprint=FINGERPRINT)
+    assert fresh.get("k1") is None
+    assert fresh.stats()["rejects"] == 1
+
+
+def test_fingerprint_echo_mismatch_is_a_rejected_miss(tmp_path):
+    """Defence in depth: even if two daemons somehow computed the same
+    key under different options, the echoed fingerprint catches it."""
+    writer = ResultCache(str(tmp_path), fingerprint=FINGERPRINT)
+    writer.put("k1", {"status": "OK"})
+    reader = ResultCache(str(tmp_path),
+                         fingerprint={**FINGERPRINT, "budget": 2})
+    assert reader.get("k1") is None
+    assert reader.stats()["rejects"] == 1
+    # The matching daemon still reads it.
+    match = ResultCache(str(tmp_path), fingerprint=dict(FINGERPRINT))
+    assert match.get("k1")["status"] == "OK"
+
+
+def test_normalize_fingerprint_canonicalizes():
+    assert normalize_fingerprint({"b": 1, "a": (1, 2)}) \
+        == {"a": [1, 2], "b": 1}
+    # Integral floats collapse onto the int they equal: 60 and 60.0
+    # name the same option value and must share a key.
+    assert (canonical_key("d", {"timeout": 60})
+            == canonical_key("d", {"timeout": 60.0}))
+    assert normalize_fingerprint(0.5) == 0.5
+    assert normalize_fingerprint({"keep": None}) == {"keep": None}
+
+
+def test_normalize_fingerprint_rejects_unhashable_values():
+    for bad in ({"x": float("nan")}, {"x": float("inf")},
+                {1: "non-string key"}, {"x": object()}, {"x": {2, 3}}):
+        with pytest.raises(ValueError):
+            normalize_fingerprint(bad)
