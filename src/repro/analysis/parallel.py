@@ -53,10 +53,14 @@ from repro.analysis.context import AnalysisContext
 from repro.analysis.driver import analyze_branch
 from repro.analysis.store import SummaryStore
 from repro.ir.icfg import ICFG
+from repro.utils import durafs
 
 #: Default per-worker wall cap.  Analysis budgets bound the work per
 #: query, so this only has to catch pathological stalls.
 DEFAULT_TIMEOUT_S = 120.0
+
+#: durafs fault site of shard result publication.
+SITE_SHARD = "analysis.shard"
 
 
 # ---------------------------------------------------------------------------
@@ -188,7 +192,11 @@ def prewarm_worker_main(icfg: ICFG, branch_ids: Sequence[int],
     context = AnalysisContext()
     context.bind(icfg)
     if store_root:
-        context.attach_store(SummaryStore(store_root, config))
+        # ``maintain=False``: N forked siblings racing the same
+        # lifecycle sweep would evict and reclaim under each other;
+        # only the parent's store runs maintenance.
+        context.attach_store(SummaryStore(store_root, config,
+                                          maintain=False))
     analyzed = 0
     for branch_id in branch_ids:
         try:
@@ -200,12 +208,8 @@ def prewarm_worker_main(icfg: ICFG, branch_ids: Sequence[int],
         "analyzed": analyzed,
         "entries": context.export_summaries(icfg),
     }
-    tmp_path = result_path + ".tmp"
-    with open(tmp_path, "w", encoding="utf-8") as handle:
-        json.dump(payload, handle, sort_keys=True)
-        handle.flush()
-        os.fsync(handle.fileno())
-    os.replace(tmp_path, result_path)
+    durafs.atomic_write_json(result_path, payload, site=SITE_SHARD,
+                             must=True)
 
 
 def _analyze_inline(icfg: ICFG, shard: Shard, config: AnalysisConfig,

@@ -21,10 +21,18 @@ deterministically), and the codec expresses every node reference as a
 *current* graph's ordering; any reference that does not resolve makes
 the whole entry a miss, never a wrong answer.
 
-Durability follows the serve result cache's discipline: one JSON file
-per entry, written to a temp name, fsynced, atomically renamed.  A torn
+Durability routes through :mod:`repro.utils.durafs` (one JSON file per
+entry, written to a temp name, fsynced, atomically renamed).  A torn
 or garbage file — a crashed writer, a truncated disk, a hostile edit —
 is a miss: reads parse defensively and validate a format stamp.
+
+The store also has a *lifecycle*: opening it sweeps orphaned temp
+files and half-finished evictions, an optional byte quota is enforced
+with deterministic, crash-safe two-phase eviction, and a health state
+machine (``healthy`` → ``read-only`` after consecutive write failures
+→ ``disabled`` after consecutive read failures) keeps a sick disk
+from slowing or corrupting the analysis: a degraded store only ever
+costs misses, never wrong answers and never exceptions.
 
 Only *completed* analyses may populate the store (the context enforces
 this, exactly as it does for its in-memory cache), so stored answer
@@ -38,6 +46,9 @@ import hashlib
 import json
 import os
 from typing import Dict, FrozenSet, List, Optional, Tuple
+
+from repro import obs
+from repro.utils import durafs
 
 from repro.analysis.answers import Answer, answer_set, trans
 from repro.analysis.config import AnalysisConfig
@@ -219,10 +230,30 @@ def decode_answers(data: list,
 # ---------------------------------------------------------------------------
 
 
-class StoreStats:
-    """Hit/miss/store accounting (published via obs by the context)."""
+#: Store health states, in degradation order.
+HEALTH_HEALTHY = "healthy"
+HEALTH_READ_ONLY = "read-only"
+HEALTH_DISABLED = "disabled"
 
-    __slots__ = ("hits", "misses", "stores", "rejects")
+#: Ranks for publishing health as a numeric gauge (``store.health``).
+HEALTH_RANK = {HEALTH_HEALTHY: 0, HEALTH_READ_ONLY: 1, HEALTH_DISABLED: 2}
+
+#: Consecutive write-side OSErrors before the store goes read-only.
+WRITE_FAILURE_LIMIT = 3
+#: Consecutive read-side OSErrors before the store disables entirely.
+READ_FAILURE_LIMIT = 3
+
+#: The durafs fault site of every entry write/read/eviction.
+SITE_ENTRY = "store.entry"
+#: The durafs fault site of open-time maintenance (sweep + quota).
+SITE_MAINTENANCE = "store.maintenance"
+
+
+class StoreStats:
+    """Hit/miss/store/lifecycle accounting (published via obs)."""
+
+    __slots__ = ("hits", "misses", "stores", "rejects", "io_errors",
+                 "evictions", "orphans_swept", "health")
 
     def __init__(self) -> None:
         self.hits = 0
@@ -232,10 +263,108 @@ class StoreStats:
         #: unresolvable node reference) — counted separately so a store
         #: full of garbage is visible, but always treated as misses.
         self.rejects = 0
+        #: Write-side OSErrors (full disk, read-only remount...).  Never
+        #: fatal, never silent: each one is counted here and published
+        #: as the ``store.io_errors`` obs counter.
+        self.io_errors = 0
+        #: Entries removed by quota enforcement (two-phase delete).
+        self.evictions = 0
+        #: Crashed writers' temp files reclaimed at open.
+        self.orphans_swept = 0
+        #: The health state machine's current state (a string; published
+        #: numerically as the ``store.health`` gauge via HEALTH_RANK).
+        self.health = HEALTH_HEALTHY
 
     def snapshot(self) -> dict:
         return {"hits": self.hits, "misses": self.misses,
-                "stores": self.stores, "rejects": self.rejects}
+                "stores": self.stores, "rejects": self.rejects,
+                "io_errors": self.io_errors, "evictions": self.evictions,
+                "orphans_swept": self.orphans_swept, "health": self.health}
+
+
+def lifecycle_maintenance(root: str, *, quota_bytes: Optional[int] = None,
+                          fs: Optional["durafs.Filesystem"] = None,
+                          ttl_s: float = durafs.ORPHAN_TTL_S,
+                          now: Optional[float] = None) -> dict:
+    """Open-time maintenance of a store directory, usable standalone.
+
+    Sweeps orphaned temp files and half-finished ``*.evict`` markers
+    (finishing any two-phase delete a crashed evictor left behind),
+    then enforces the byte quota.  Every step is concurrent-writer
+    safe: files that vanish mid-step were simply claimed by a sibling.
+    Returns ``{"orphans_swept", "evicted", "entries", "bytes"}``.
+    """
+    fs = durafs.resolve_fs(fs)
+    fs.makedirs(root)
+    swept = durafs.sweep_orphans(root, site=SITE_MAINTENANCE, fs=fs,
+                                 ttl_s=ttl_s, now=now)
+    evicted, entries, total = enforce_quota(root, quota_bytes, fs=fs)
+    return {"orphans_swept": swept, "evicted": evicted,
+            "entries": entries, "bytes": total}
+
+
+def disk_usage(root: str,
+               fs: Optional["durafs.Filesystem"] = None) -> Tuple[int, int]:
+    """(entry count, total bytes) of the ``*.json`` entries in ``root``."""
+    fs = durafs.resolve_fs(fs)
+    entries = 0
+    total = 0
+    for name in durafs.safe_scan(root, site=SITE_MAINTENANCE, fs=fs,
+                                 suffix=".json"):
+        try:
+            total += fs.stat(os.path.join(root, name)).st_size
+        except OSError:
+            continue
+        entries += 1
+    return entries, total
+
+
+def enforce_quota(root: str, quota_bytes: Optional[int],
+                  fs: Optional["durafs.Filesystem"] = None,
+                  ) -> Tuple[int, int, int]:
+    """Evict oldest entries until the store fits ``quota_bytes``.
+
+    Deterministic given the directory state: candidates are ordered by
+    (mtime, name) — oldest first, hash-name tiebreak.  Each eviction is
+    two-phase and crash-safe: rename ``<key>.json`` → ``<key>.evict``
+    (atomic — the entry instantly stops being readable), then remove
+    the marker.  A crash between the phases leaves only a ``.evict``
+    file, reclaimed unconditionally by the next open's orphan sweep.
+    Concurrent writers are safe: a rename or remove that loses a race
+    is skipped.  Returns (evicted, surviving entries, surviving bytes).
+    """
+    fs = durafs.resolve_fs(fs)
+    survivors: List[Tuple[int, str, int]] = []   # (mtime_ns, name, size)
+    for name in durafs.safe_scan(root, site=SITE_MAINTENANCE, fs=fs,
+                                 suffix=".json"):
+        try:
+            info = fs.stat(os.path.join(root, name))
+        except OSError:
+            continue
+        survivors.append((info.st_mtime_ns, name, info.st_size))
+    survivors.sort()
+    total = sum(size for _, _, size in survivors)
+    if quota_bytes is None:
+        return 0, len(survivors), total
+    evicted = 0
+    while survivors and total > quota_bytes:
+        _, name, size = survivors.pop(0)
+        path = os.path.join(root, name)
+        marker = f"{path[:-len('.json')]}.evict"
+        try:
+            fs.replace(path, marker, SITE_MAINTENANCE)   # phase one
+        except OSError:
+            total -= size          # a sibling already claimed it
+            continue
+        total -= size
+        evicted += 1
+        try:
+            fs.remove(marker, SITE_MAINTENANCE)          # phase two
+        except OSError:
+            pass                   # sweep reclaims the marker later
+    if evicted:
+        obs.add("store.evictions", evicted)
+    return evicted, len(survivors), total
 
 
 class SummaryStore:
@@ -246,15 +375,68 @@ class SummaryStore:
     keyed by content, so concurrent writers of the same key race
     harmlessly (every winner wrote the same bytes) and readers never
     observe a torn entry.
+
+    The instance also runs the store's lifecycle: an orphan sweep and
+    quota enforcement at open (``maintain=False`` skips both — forked
+    prewarm children attach to a store the parent already maintained),
+    and a health state machine while running.  ``write_failure_limit``
+    consecutive write-side OSErrors park the store in ``read-only``
+    (reads keep serving hits, writes stop being attempted);
+    ``read_failure_limit`` consecutive read-side OSErrors — a failing
+    device, not mere garbage content — park it in ``disabled`` (every
+    probe is an instant miss).  Degradation never raises and never
+    changes answers: a sick store is indistinguishable from a cold one.
     """
 
-    def __init__(self, root: str, config: AnalysisConfig) -> None:
+    def __init__(self, root: str, config: AnalysisConfig, *,
+                 fs: Optional["durafs.Filesystem"] = None,
+                 quota_bytes: Optional[int] = None,
+                 write_failure_limit: int = WRITE_FAILURE_LIMIT,
+                 read_failure_limit: int = READ_FAILURE_LIMIT,
+                 maintain: bool = True) -> None:
         self.root = root
+        self.fs = durafs.resolve_fs(fs)
+        self.quota_bytes = quota_bytes
+        self.write_failure_limit = max(1, write_failure_limit)
+        self.read_failure_limit = max(1, read_failure_limit)
         self.fingerprint = config_fingerprint(config)
         self._fingerprint_text = json.dumps(
             self.fingerprint, sort_keys=True, separators=(",", ":"))
         self.stats = StoreStats()
+        self._write_failures = 0   # consecutive
+        self._read_failures = 0    # consecutive
+        self._approx_bytes = 0
         os.makedirs(self.root, exist_ok=True)
+        if maintain:
+            report = lifecycle_maintenance(root, quota_bytes=quota_bytes,
+                                           fs=self.fs)
+            self.stats.orphans_swept += report["orphans_swept"]
+            self.stats.evictions += report["evicted"]
+            self._approx_bytes = report["bytes"]
+
+    # -- health ----------------------------------------------------------
+
+    @property
+    def health(self) -> str:
+        return self.stats.health
+
+    def _note_write_failure(self) -> None:
+        self.stats.io_errors += 1
+        obs.add("store.io_errors")
+        self._write_failures += 1
+        if (self.stats.health == HEALTH_HEALTHY
+                and self._write_failures >= self.write_failure_limit):
+            self.stats.health = HEALTH_READ_ONLY
+            obs.add("store.health_transitions")
+
+    def _note_read_failure(self) -> None:
+        self.stats.io_errors += 1
+        obs.add("store.io_errors")
+        self._read_failures += 1
+        if (self.stats.health != HEALTH_DISABLED
+                and self._read_failures >= self.read_failure_limit):
+            self.stats.health = HEALTH_DISABLED
+            obs.add("store.health_transitions")
 
     # -- keying ----------------------------------------------------------
 
@@ -279,8 +461,14 @@ class SummaryStore:
         """The stored (still-encoded) answer list for ``key``, or None.
 
         Every failure mode — missing file, unreadable file, torn or
-        hand-mangled JSON, wrong format stamp — is a miss.
+        hand-mangled JSON, wrong format stamp — is a miss.  Garbage
+        content counts a reject; a read-side OSError additionally feeds
+        the health machine (a failing device eventually disables the
+        store); a disabled store answers miss without touching disk.
         """
+        if self.stats.health == HEALTH_DISABLED:
+            self.stats.misses += 1
+            return None
         path = self._path(key)
         try:
             with open(path, "r", encoding="utf-8") as handle:
@@ -288,9 +476,14 @@ class SummaryStore:
         except FileNotFoundError:
             self.stats.misses += 1
             return None
-        except (ValueError, OSError):
+        except OSError:
+            self.stats.rejects += 1
+            self._note_read_failure()
+            return None
+        except ValueError:
             self.stats.rejects += 1
             return None
+        self._read_failures = 0
         if (not isinstance(payload, dict)
                 or payload.get("format") != STORE_FORMAT
                 or not isinstance(payload.get("answers"), list)):
@@ -300,32 +493,36 @@ class SummaryStore:
         return payload["answers"]
 
     def save(self, key: str, encoded_answers: list) -> None:
-        """Persist one entry (atomic; concurrent writers race safely)."""
+        """Persist one entry (atomic; concurrent writers race safely).
+
+        A full disk or a permissions change must never fail the
+        analysis: a write-side OSError is counted (``stats.io_errors``,
+        ``store.io_errors``), feeds the health machine, and the entry
+        is simply not persisted.  A store that is no longer ``healthy``
+        stops attempting writes at all.
+        """
+        if self.stats.health != HEALTH_HEALTHY:
+            return
         path = self._path(key)
         if os.path.exists(path):
             return                      # content-addressed: already there
         payload = {"format": STORE_FORMAT, "answers": encoded_answers}
-        tmp_path = f"{path}.tmp.{os.getpid()}"
-        try:
-            with open(tmp_path, "w", encoding="utf-8") as handle:
-                json.dump(payload, handle, sort_keys=True,
-                          separators=(",", ":"))
-                handle.flush()
-                os.fsync(handle.fileno())
-            os.replace(tmp_path, path)
-        except OSError:
-            # A full disk or a permissions change must never fail the
-            # analysis; the entry is simply not persisted.
-            try:
-                os.remove(tmp_path)
-            except OSError:
-                pass
+        data = json.dumps(payload, sort_keys=True,
+                          separators=(",", ":")).encode("utf-8")
+        if not durafs.atomic_write_bytes(path, data, site=SITE_ENTRY,
+                                         fs=self.fs):
+            self._note_write_failure()
             return
+        self._write_failures = 0
         self.stats.stores += 1
+        self._approx_bytes += len(data)
+        if (self.quota_bytes is not None
+                and self._approx_bytes > self.quota_bytes):
+            evicted, _, total = enforce_quota(self.root, self.quota_bytes,
+                                              fs=self.fs)
+            self.stats.evictions += evicted
+            self._approx_bytes = total
 
     def entry_count(self) -> int:
-        try:
-            return sum(1 for name in os.listdir(self.root)
-                       if name.endswith(".json"))
-        except OSError:
-            return 0
+        return len(durafs.safe_scan(self.root, site=SITE_MAINTENANCE,
+                                    fs=self.fs, suffix=".json"))

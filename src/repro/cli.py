@@ -107,7 +107,8 @@ def cmd_optimize(args: argparse.Namespace) -> int:
         diagnostics_dir=args.diagnostics,
         analysis_cache=not args.no_analysis_cache,
         analysis_jobs=args.analysis_jobs,
-        summary_store_dir=args.summary_store))
+        summary_store_dir=args.summary_store,
+        summary_store_quota=args.summary_store_quota))
     report = optimizer.optimize(icfg)
     print(f"conditionals optimized: {report.optimized_count} / "
           f"{report.conditionals_before}")
@@ -120,7 +121,12 @@ def cmd_optimize(args: argparse.Namespace) -> int:
         print(f"summary store: {stats['hits']} hits / "
               f"{stats['misses']} misses / {stats['stores']} stored"
               + (f" / {stats['rejects']} rejected"
-                 if stats["rejects"] else ""))
+                 if stats["rejects"] else "")
+              + (f" / {stats['evictions']} evicted"
+                 if stats["evictions"] else "")
+              + (f" / {stats['io_errors']} io errors "
+                 f"[{stats['health']}]"
+                 if stats["io_errors"] else ""))
     if report.failed_count or report.rolled_back_count:
         print(f"transactions rolled back: {report.failed_count} failed, "
               f"{report.rolled_back_count} differential")
@@ -213,7 +219,8 @@ def cmd_batch(args: argparse.Namespace) -> int:
         diff_check=not args.no_diff_check,
         backoff_base_s=args.backoff, breaker_threshold=args.breaker,
         analysis_jobs=args.analysis_jobs,
-        summary_store=args.summary_store)
+        summary_store=args.summary_store,
+        summary_store_quota=args.summary_store_quota)
     supervisor = BatchSupervisor(specs, run_dir, options=options,
                                  resume=args.resume is not None)
     report = supervisor.run()
@@ -254,7 +261,8 @@ def cmd_serve(args: argparse.Namespace) -> int:
         duplication_limit=args.limit, diff_check=not args.no_diff_check,
         memory_mb=args.memory_mb,
         analysis_jobs=args.analysis_jobs,
-        summary_store=args.summary_store)
+        summary_store=args.summary_store,
+        summary_store_quota=args.summary_store_quota)
     return run_daemon(options)
 
 
@@ -264,9 +272,18 @@ def cmd_experiment(args: argparse.Namespace) -> int:
     return harness_main([args.name])
 
 
+def _quota(text: str) -> int:
+    """argparse type for ``--summary-store-quota`` (accepts 64m, 1g...)."""
+    from repro.utils.durafs import parse_size
+    try:
+        return parse_size(text)
+    except ValueError as bad:
+        raise argparse.ArgumentTypeError(str(bad))
+
+
 def _add_analysis_scaling_flags(p: argparse.ArgumentParser) -> None:
-    """``--analysis-jobs`` / ``--summary-store``, shared by every
-    subcommand that runs the optimizer.  Both are outcome-neutral:
+    """``--analysis-jobs`` / ``--summary-store[-quota]``, shared by
+    every subcommand that runs the optimizer.  All outcome-neutral:
     reports and graphs are byte-identical at any setting."""
     p.add_argument("--analysis-jobs", type=int, default=1, metavar="N",
                    help="shard the correlation analysis across N worker "
@@ -276,6 +293,11 @@ def _add_analysis_scaling_flags(p: argparse.ArgumentParser) -> None:
                    help="persist completed summary-node entries to a "
                         "content-addressed store in DIR and reuse them "
                         "across runs and programs")
+    p.add_argument("--summary-store-quota", type=_quota, default=None,
+                   metavar="BYTES",
+                   help="cap the summary store at this many bytes "
+                        "(suffixes k/m/g; oldest entries are evicted "
+                        "crash-safely; evictions only ever cost misses)")
 
 
 def build_parser() -> argparse.ArgumentParser:

@@ -371,35 +371,47 @@ def _parallel_store_section() -> str:
     from repro.analysis.store import SummaryStore
     from repro.benchgen.suite import benchmark_names
     from repro.harness.metrics import prepare_benchmark
+    from repro.utils import durafs
 
     config = AnalysisConfig(budget=1000)
 
-    def sweep(icfg, root):
+    def sweep(icfg, root, fs=None):
         context = AnalysisContext()
         context.bind(icfg)
-        context.attach_store(SummaryStore(root, config))
+        context.attach_store(SummaryStore(root, config, fs=fs))
         answers = []
         for branch_id in sorted(b.id for b in icfg.branch_nodes()):
             result = analyze_branch(icfg, branch_id, config, context=context)
             answers.append((branch_id, result.branch_answers))
         return answers, context.store.stats
 
-    header = ("| benchmark | persisted | warm hits/misses | answers |\n"
-              "|---|---|---|---|")
+    header = ("| benchmark | persisted | warm hits/misses | answers | "
+              "under ENOSPC |\n|---|---|---|---|---|")
     rows = []
     for name in benchmark_names():
         icfg = prepare_benchmark(name).icfg
         root = tempfile.mkdtemp(prefix="icbe-report-store-")
+        sick_root = tempfile.mkdtemp(prefix="icbe-report-sick-")
         try:
             cold_answers, cold_stats = sweep(icfg, root)
             warm_answers, warm_stats = sweep(icfg, root)
+            # The durability contract: the same sweep on a store whose
+            # every entry write hits ENOSPC must produce identical
+            # answers and park the store read-only, never raise.
+            sick_fs = durafs.Filesystem(durafs.FsFaultPlan.erroring(
+                "store.entry", op="write", hit=0))
+            sick_answers, sick_stats = sweep(icfg, sick_root, fs=sick_fs)
         finally:
             shutil.rmtree(root, ignore_errors=True)
+            shutil.rmtree(sick_root, ignore_errors=True)
         identical = cold_answers == warm_answers and warm_stats.stores == 0
+        degraded = sick_answers == cold_answers and sick_stats.stores == 0
         rows.append(
             f"| {name} | {cold_stats.stores} | "
             f"{warm_stats.hits}/{warm_stats.misses} | "
-            f"{'identical' if identical else 'DIVERGED'} |")
+            f"{'identical' if identical else 'DIVERGED'} | "
+            f"{'identical' if degraded else 'DIVERGED'}"
+            f" ({sick_stats.health}) |")
 
     return f"""\
 ## Parallel analysis and the persistent summary store
@@ -421,6 +433,11 @@ answer set is not exact), so truncated queries re-run every time.
 (>= 1.5x over the suite at scale 8) and
 `benchmarks/ci_parallel_equivalence.py` holds serial, sharded, and
 store-backed optimizer runs to identical outcomes under `--diff-check`.
+The last column re-runs the sweep against a store whose every entry
+write fails with ENOSPC (injected via `repro.utils.durafs`): answers
+must stay identical while the health state machine parks the store
+read-only — degradation costs misses, never correctness (see
+docs/ROBUSTNESS.md, "Durability contract").
 
 {header}
 {chr(10).join(rows)}

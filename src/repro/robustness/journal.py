@@ -38,9 +38,12 @@ from typing import Dict, List, Optional
 
 from repro.errors import SupervisorError
 from repro.robustness.degrade import JobOutcome
+from repro.utils import durafs
 
 JOURNAL_NAME = "journal.jsonl"
 SCHEMA_VERSION = 1
+#: The durafs fault site of every journal write.
+SITE = "batch.journal"
 
 
 def canonical_json(record: dict) -> str:
@@ -61,30 +64,38 @@ class RecoveredJournal:
 
 
 class Journal:
-    """Append-only, fsynced journal of one batch run."""
+    """Append-only, fsynced journal of one batch run.
 
-    def __init__(self, run_dir: str) -> None:
+    All writes route through :mod:`repro.utils.durafs` (site
+    ``batch.journal``).  A write-side failure — ENOSPC on the append,
+    EIO on the fsync — is a *definite* operator error: the write-ahead
+    contract is void without durability, so the append raises
+    :class:`~repro.errors.SupervisorError` with structured errno/path
+    context rather than limping on with an unjournaled batch.
+    """
+
+    def __init__(self, run_dir: str,
+                 fs: Optional["durafs.Filesystem"] = None) -> None:
         self.run_dir = run_dir
         self.path = os.path.join(run_dir, JOURNAL_NAME)
-        self._handle = None
+        self.fs = durafs.resolve_fs(fs)
+        self._handle: Optional[durafs.AppendFile] = None
 
     # -- writing -----------------------------------------------------------
 
     def open_fresh(self, meta: dict) -> None:
         """Start a new journal, writing the ``meta`` header record."""
         os.makedirs(self.run_dir, exist_ok=True)
-        self._handle = open(self.path, "w", encoding="utf-8")
+        self._handle = durafs.AppendFile(self.path, site=SITE, fs=self.fs,
+                                         fresh=True)
         self._append({"type": "meta", "version": SCHEMA_VERSION, **meta})
 
     def open_resume(self, recovered: RecoveredJournal) -> None:
         """Reopen for appending after :meth:`recover`, dropping any torn
         tail so the next record starts on a clean line boundary."""
         if recovered.torn_tail:
-            with open(self.path, "r+b") as handle:
-                handle.truncate(recovered.valid_bytes)
-                handle.flush()
-                os.fsync(handle.fileno())
-        self._handle = open(self.path, "a", encoding="utf-8")
+            self.fs.truncate_file(self.path, recovered.valid_bytes, SITE)
+        self._handle = durafs.AppendFile(self.path, site=SITE, fs=self.fs)
 
     def append_job(self, index: int, outcome: JobOutcome) -> None:
         """Journal one completed job (write-ahead: fsynced before the
@@ -95,9 +106,15 @@ class Journal:
     def _append(self, record: dict) -> None:
         from repro import obs
         assert self._handle is not None, "journal is not open"
-        self._handle.write(canonical_json(record) + "\n")
-        self._handle.flush()
-        os.fsync(self._handle.fileno())
+        try:
+            self._handle.append(canonical_json(record) + "\n")
+        except OSError as failure:
+            raise SupervisorError(
+                f"journal write failed: {failure} "
+                f"(the write-ahead contract requires durable appends; "
+                f"free space or choose another --run-dir, then --resume)",
+                errno=int(failure.errno or 0), path=self.path,
+                record_type=str(record.get("type"))) from failure
         obs.add("journal.fsyncs")
 
     def close(self) -> None:

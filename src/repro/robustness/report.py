@@ -23,6 +23,10 @@ from repro.errors import error_context
 from repro.ir.icfg import ICFG
 from repro.ir.printer import dump_icfg
 from repro.robustness.diffcheck import DiffReport
+from repro.utils import durafs
+
+#: durafs fault site of diagnostics-bundle spills.
+SITE_BUNDLE = "diag.bundle"
 
 
 @dataclass
@@ -93,8 +97,16 @@ def capture_bundle(branch_id: int, phase: str,
 
 
 def write_bundle(bundle: DiagnosticsBundle, directory: str) -> str:
-    """Write ``bundle`` under ``directory``; returns the file path."""
-    os.makedirs(directory, exist_ok=True)
+    """Write ``bundle`` under ``directory``; returns the file path.
+
+    Best-effort: a bundle spill is a post-mortem convenience, so a
+    failed write (disk full mid-incident is the norm, not the edge
+    case) returns ``""`` — the bundle is still on the in-memory report.
+    """
+    try:
+        os.makedirs(directory, exist_ok=True)
+    except OSError:
+        return ""
     tag = f"branch{bundle.branch_id}" if bundle.branch_id >= 0 else "pipeline"
     name = f"icbe-diag-{tag}-{bundle.phase.replace(':', '_')}.md"
     path = os.path.join(directory, name)
@@ -102,6 +114,6 @@ def write_bundle(bundle: DiagnosticsBundle, directory: str) -> str:
     while os.path.exists(path):
         path = os.path.join(directory, f"{name[:-3]}-{counter}.md")
         counter += 1
-    with open(path, "w", encoding="utf-8") as handle:
-        handle.write(bundle.render())
+    if not durafs.atomic_write_text(path, bundle.render(), site=SITE_BUNDLE):
+        return ""
     return path

@@ -46,6 +46,7 @@ from repro.robustness.degrade import (Attempt, HARD_RESULTS, JobOutcome,
 from repro.robustness.guards import DeadlineGuard
 from repro.robustness.journal import Journal
 from repro.robustness.worker import parse_job_source, run_attempt, worker_main
+from repro.utils import durafs
 
 REPORT_NAME = "report.txt"
 #: Per-attempt wall time and peak RSS, one JSON line each.  Advisory
@@ -53,6 +54,11 @@ REPORT_NAME = "report.txt"
 #: journal: ``journal.jsonl`` and ``report.txt`` stay byte-identical
 #: across resumes, the telemetry file does not pretend to.
 TELEMETRY_NAME = "telemetry.jsonl"
+
+#: durafs fault sites of the supervisor's own write surfaces (the
+#: journal has its own site inside :mod:`repro.robustness.journal`).
+SITE_TELEMETRY = "batch.telemetry"
+SITE_REPORT = "batch.report"
 
 
 def job_class_of(name: str) -> str:
@@ -138,6 +144,9 @@ class SupervisorOptions:
     #: Persistent summary store directory shared by every attempt (see
     #: :mod:`repro.analysis.store`); outcome-neutral like the cache.
     summary_store: Optional[str] = None
+    #: Store size cap in bytes (None = unbounded).  Eviction only ever
+    #: costs misses, so this too stays out of the fingerprint.
+    summary_store_quota: Optional[int] = None
 
     def fingerprint(self) -> dict:
         """The deterministic option set journaled in the meta record.
@@ -301,9 +310,14 @@ class BatchSupervisor:
         report = BatchReport()
         self._report = report
         states = self._states = self._prepare(report)
-        self._telemetry_handle = open(
-            os.path.join(self.run_dir, TELEMETRY_NAME),
-            "a" if self.resume else "w", encoding="utf-8")
+        # Telemetry is advisory: it is written without fsync and a
+        # failure to open or append it must never cost the batch.
+        try:
+            self._telemetry_handle = durafs.AppendFile(
+                os.path.join(self.run_dir, TELEMETRY_NAME),
+                site=SITE_TELEMETRY, fresh=not self.resume, do_fsync=False)
+        except OSError:
+            self._telemetry_handle = None
         previous_handlers = self._install_drain_handlers()
         try:
             with obs.span("batch.run", jobs=len(states),
@@ -318,7 +332,8 @@ class BatchSupervisor:
         finally:
             self._restore_drain_handlers(previous_handlers)
             self.journal.close()
-            self._telemetry_handle.close()
+            if self._telemetry_handle is not None:
+                self._telemetry_handle.close()
         if self._drain_signum:
             # The journal checkpoint above is the hand-off: completed
             # jobs are fsynced in index order, interrupted ones left
@@ -529,6 +544,7 @@ class BatchSupervisor:
                 "strict": state.spec.strict,
                 "analysis_jobs": opts.analysis_jobs,
                 "summary_store": opts.summary_store,
+                "summary_store_quota": opts.summary_store_quota,
                 # Workers trace only when the supervisor itself runs
                 # under an observability session (their spans get
                 # adopted back into it on collection).
@@ -708,8 +724,12 @@ class BatchSupervisor:
         self._report.telemetry.append(record)
         handle = getattr(self, "_telemetry_handle", None)
         if handle is not None and not handle.closed:
-            handle.write(json.dumps(record, sort_keys=True) + "\n")
-            handle.flush()
+            try:
+                handle.append(json.dumps(record, sort_keys=True) + "\n")
+            except OSError:
+                # Advisory stream: drop the sidecar, keep the batch.
+                handle.close()
+                self._telemetry_handle = None
         obs.add("batch.attempts")
 
     def _record_attempt_span(self, state: _JobState,
@@ -782,12 +802,15 @@ class BatchSupervisor:
 
     def _write_report(self, report: BatchReport) -> None:
         path = os.path.join(self.run_dir, REPORT_NAME)
-        tmp_path = path + ".tmp"
-        with open(tmp_path, "w", encoding="utf-8") as handle:
-            handle.write(report.render())
-            handle.flush()
-            os.fsync(handle.fileno())
-        os.replace(tmp_path, path)
+        try:
+            durafs.atomic_write_text(path, report.render(),
+                                     site=SITE_REPORT, must=True)
+        except OSError as failure:
+            raise SupervisorError(
+                f"cannot write batch report: {failure} "
+                f"(outcomes are journaled; free space and re-run with "
+                f"--resume to regenerate the report)",
+                errno=int(failure.errno or 0), path=path) from failure
 
 
 def run_batch(sources: Sequence[str], run_dir: str,

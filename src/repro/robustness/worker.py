@@ -32,7 +32,6 @@ ladder genuinely recovers the job one tier down.
 
 from __future__ import annotations
 
-import json
 import os
 import signal
 import sys
@@ -48,10 +47,14 @@ from repro.lang import parse_program
 from repro.robustness import degrade
 from repro.robustness.diffcheck import differential_check, seeded_workloads
 from repro.robustness.faults import FaultPlan, FaultSpec
+from repro.utils import durafs
 
 #: Exit codes the chaos faults use (recognizable in supervisor logs).
 EXIT_CRASH = 134          # simulated abort()
 EXIT_ORPHAN_BACKSTOP = 124
+
+#: durafs fault site of the worker's result publication.
+SITE_RESULT = "batch.result"
 
 #: How far past the supervisor's own kill deadline the worker's SIGALRM
 #: backstop waits before self-terminating (it only ever fires when the
@@ -154,13 +157,14 @@ def _run_injection(inject: Optional[dict], tier_index: int,
 
 
 def _write_result(result_path: str, payload: dict) -> None:
-    """Atomic, fsynced result publication (write temp, rename)."""
-    tmp_path = result_path + ".tmp"
-    with open(tmp_path, "w", encoding="utf-8") as handle:
-        json.dump(payload, handle, sort_keys=True)
-        handle.flush()
-        os.fsync(handle.fileno())
-    os.replace(tmp_path, result_path)
+    """Atomic, fsynced result publication (write temp, rename).
+
+    ``must=True``: an unpublishable result is a hard worker death (the
+    OSError escapes and the process exits nonzero), which the
+    supervisor already classifies correctly — never a torn file.
+    """
+    durafs.atomic_write_json(result_path, payload, site=SITE_RESULT,
+                             must=True)
 
 
 def _fault_plan(spec: dict) -> Optional[FaultPlan]:
@@ -252,6 +256,8 @@ def _attempt_payload(spec: dict) -> dict:
         options.strict = bool(spec.get("strict", False))
         options.analysis_jobs = int(spec.get("analysis_jobs") or 1)
         options.summary_store_dir = spec.get("summary_store") or None
+        quota = spec.get("summary_store_quota")
+        options.summary_store_quota = int(quota) if quota else None
         from repro.transform import ICBEOptimizer
         report = ICBEOptimizer(options).optimize(icfg)
         verify_icfg(report.optimized)

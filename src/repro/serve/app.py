@@ -34,20 +34,19 @@ from repro import obs
 from repro.serve.config import ServeOptions
 from repro.serve.http import HttpFrontend
 from repro.serve.service import OptimizationService
+from repro.utils import durafs
 
 DISCOVERY_NAME = "serve.json"
+#: durafs fault site of the discovery-file write.
+SITE_DISCOVERY = "serve.discovery"
 
 
 def _write_discovery(options: ServeOptions, port: int) -> str:
     path = os.path.join(options.run_dir, DISCOVERY_NAME)
     payload = {"host": options.host, "port": port, "pid": os.getpid()}
-    temp = path + ".tmp"
-    with open(temp, "w", encoding="utf-8") as handle:
-        json.dump(payload, handle, sort_keys=True)
-        handle.write("\n")
-        handle.flush()
-        os.fsync(handle.fileno())
-    os.replace(temp, path)
+    durafs.atomic_write_text(path,
+                             json.dumps(payload, sort_keys=True) + "\n",
+                             site=SITE_DISCOVERY, must=True)
     return path
 
 

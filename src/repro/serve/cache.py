@@ -40,9 +40,14 @@ from typing import Optional
 
 from repro import obs
 from repro.errors import ServeError
+from repro.utils import durafs
 
 CACHE_DIR = "cache"
 PROGRAM_DIR = "programs"
+
+#: durafs fault sites of the two write paths.
+SITE_CACHE = "serve.cache"
+SITE_SPOOL = "serve.spool"
 
 #: On-disk entry schema version.  Bump whenever the shape of a cached
 #: result payload changes: a restarted daemon must treat entries a
@@ -171,22 +176,29 @@ def resolve_submission(body: dict, run_dir: str,
                       job_class=job_class, key=key)
 
 
-def _spool_program(run_dir: str, key: str, source: str) -> str:
+def _spool_program(run_dir: str, key: str, source: str,
+                   fs: Optional["durafs.Filesystem"] = None) -> str:
     """Write the submitted text content-addressed next to the journal.
 
     Idempotent by construction (same key == same canonical program; the
-    first spooled text is as good as any other that hashes to it).
+    first spooled text is as good as any other that hashes to it).  A
+    write failure — disk full, read-only remount — must be *definite*:
+    the daemon journals only spooled sources, so a half-admitted job
+    would be unrecoverable.  It is counted (``serve.cache.io_errors``)
+    and surfaces as a structured :class:`~repro.errors.ServeError`
+    carrying errno and path.
     """
     spool = os.path.join(run_dir, PROGRAM_DIR)
-    os.makedirs(spool, exist_ok=True)
     path = os.path.join(spool, f"{key}.mc")
     if not os.path.exists(path):
-        tmp_path = f"{path}.tmp.{os.getpid()}"
-        with open(tmp_path, "w", encoding="utf-8") as handle:
-            handle.write(source)
-            handle.flush()
-            os.fsync(handle.fileno())
-        os.replace(tmp_path, path)
+        try:
+            durafs.atomic_write_text(path, source, site=SITE_SPOOL,
+                                     fs=fs, must=True)
+        except OSError as failure:
+            obs.add("serve.cache.io_errors")
+            raise ServeError(
+                f"cannot spool submission {key[:12]}: {failure}",
+                errno=int(failure.errno or 0), path=path) from failure
     return path
 
 
@@ -204,9 +216,11 @@ class ResultCache:
     """
 
     def __init__(self, run_dir: str, persist: bool = True,
-                 fingerprint: Optional[dict] = None) -> None:
+                 fingerprint: Optional[dict] = None,
+                 fs: Optional["durafs.Filesystem"] = None) -> None:
         self.run_dir = run_dir
         self.persist = persist
+        self.fs = durafs.resolve_fs(fs)
         self.fingerprint = (normalize_fingerprint(fingerprint)
                             if fingerprint is not None else None)
         self._memory: dict = {}
@@ -214,6 +228,15 @@ class ResultCache:
         self.misses = 0
         self.stores = 0
         self.rejects = 0
+        #: Write-side OSErrors on ``put`` — the result stays served
+        #: from memory, the disk entry is simply not written.
+        self.io_errors = 0
+        self.orphans_swept = 0
+        if persist:
+            # Reclaim crashed writers' debris from both write surfaces.
+            for sub in (CACHE_DIR, PROGRAM_DIR):
+                self.orphans_swept += durafs.sweep_orphans(
+                    os.path.join(run_dir, sub), site=SITE_CACHE, fs=self.fs)
 
     def _path(self, key: str) -> str:
         return os.path.join(self.run_dir, CACHE_DIR, f"{key}.json")
@@ -256,26 +279,29 @@ class ResultCache:
         return dict(entry)
 
     def put(self, key: str, result: dict) -> None:
-        """Store one OK result (atomic on disk; last writer wins)."""
+        """Store one OK result (atomic on disk; last writer wins).
+
+        The disk write is best-effort: a full disk costs future
+        restarts their warm start, never the running daemon a result.
+        Failures are counted (``io_errors``, ``serve.cache.io_errors``)
+        instead of being swallowed without trace.
+        """
         entry = dict(result)
         self._memory[key] = entry
         self.stores += 1
         obs.add("serve.cache.store")
         if not self.persist:
             return
-        path = self._path(key)
-        os.makedirs(os.path.dirname(path), exist_ok=True)
         envelope = {"format": CACHE_FORMAT,
                     "fingerprint": self.fingerprint,
                     "result": entry}
-        tmp_path = f"{path}.tmp.{os.getpid()}"
-        with open(tmp_path, "w", encoding="utf-8") as handle:
-            json.dump(envelope, handle, sort_keys=True)
-            handle.flush()
-            os.fsync(handle.fileno())
-        os.replace(tmp_path, path)
+        if not durafs.atomic_write_json(self._path(key), envelope,
+                                        site=SITE_CACHE, fs=self.fs):
+            self.io_errors += 1
+            obs.add("serve.cache.io_errors")
 
     def stats(self) -> dict:
         return {"entries": len(self._memory), "hits": self.hits,
                 "misses": self.misses, "stores": self.stores,
-                "rejects": self.rejects}
+                "rejects": self.rejects, "io_errors": self.io_errors,
+                "orphans_swept": self.orphans_swept}

@@ -99,6 +99,9 @@ class ServeOptions:
     #: :mod:`repro.analysis.store`); None disables persistence.
     #: Outcome-neutral, excluded from the fingerprint.
     summary_store: Optional[str] = None
+    #: Store size cap in bytes (None = unbounded).  Eviction costs
+    #: misses, never results — outcome-neutral, not fingerprinted.
+    summary_store_quota: Optional[int] = None
 
     def fingerprint(self) -> dict:
         """The result-shaping option subset.

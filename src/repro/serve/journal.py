@@ -32,9 +32,12 @@ from typing import Dict, List, Optional
 
 from repro import obs
 from repro.errors import ServeError
+from repro.utils import durafs
 
 JOURNAL_NAME = "serve-journal.jsonl"
 SCHEMA_VERSION = 1
+#: The durafs fault site of every serve-journal write.
+SITE = "serve.journal"
 
 
 def _canonical(record: dict) -> str:
@@ -61,18 +64,28 @@ class RecoveredServeJournal:
 
 
 class ServeJournal:
-    """Append-only, fsynced journal of one daemon's job stream."""
+    """Append-only, fsynced journal of one daemon's job stream.
 
-    def __init__(self, run_dir: str) -> None:
+    All writes route through :mod:`repro.utils.durafs` (site
+    ``serve.journal``).  A failed append or fsync voids the durability
+    contract — the daemon must not hand out a 202 it cannot honor — so
+    write-side OSErrors surface as :class:`~repro.errors.ServeError`
+    with structured errno/path context.
+    """
+
+    def __init__(self, run_dir: str,
+                 fs: Optional["durafs.Filesystem"] = None) -> None:
         self.run_dir = run_dir
         self.path = os.path.join(run_dir, JOURNAL_NAME)
-        self._handle = None
+        self.fs = durafs.resolve_fs(fs)
+        self._handle: Optional[durafs.AppendFile] = None
 
     # -- writing -----------------------------------------------------------
 
     def open_fresh(self, meta: dict) -> None:
         os.makedirs(self.run_dir, exist_ok=True)
-        self._handle = open(self.path, "w", encoding="utf-8")
+        self._handle = durafs.AppendFile(self.path, site=SITE, fs=self.fs,
+                                         fresh=True)
         self._append({"type": "meta", "version": SCHEMA_VERSION, **meta})
 
     def open_recovered(self, recovered: RecoveredServeJournal,
@@ -92,11 +105,8 @@ class ServeJournal:
                 f"cannot reuse run dir: journal schema "
                 f"v{recovered.meta.get('version')} != v{SCHEMA_VERSION}")
         if recovered.torn_tail:
-            with open(self.path, "r+b") as handle:
-                handle.truncate(recovered.valid_bytes)
-                handle.flush()
-                os.fsync(handle.fileno())
-        self._handle = open(self.path, "a", encoding="utf-8")
+            self.fs.truncate_file(self.path, recovered.valid_bytes, SITE)
+        self._handle = durafs.AppendFile(self.path, site=SITE, fs=self.fs)
 
     def append_submit(self, record: dict) -> None:
         """Journal one admission (fsynced before the 202 goes out)."""
@@ -108,9 +118,15 @@ class ServeJournal:
 
     def _append(self, record: dict) -> None:
         assert self._handle is not None, "serve journal is not open"
-        self._handle.write(_canonical(record) + "\n")
-        self._handle.flush()
-        os.fsync(self._handle.fileno())
+        try:
+            self._handle.append(_canonical(record) + "\n")
+        except OSError as failure:
+            raise ServeError(
+                f"serve journal write failed: {failure} "
+                f"(jobs are only admitted once journaled; free space or "
+                f"restart with another --run-dir)",
+                errno=int(failure.errno or 0), path=self.path,
+                record_type=str(record.get("type"))) from failure
         obs.add("journal.fsyncs")
 
     def close(self) -> None:

@@ -115,6 +115,11 @@ class OptimizerOptions:
     #: :mod:`repro.analysis.store`); None keeps summaries in memory
     #: only.  Outcome-neutral like the cache it extends.
     summary_store_dir: Optional[str] = None
+    #: Size cap for that store in bytes (None = unbounded).  Enforced by
+    #: deterministic oldest-first eviction after each overflow; evicted
+    #: entries only ever cost future misses, so this too is
+    #: outcome-neutral.
+    summary_store_quota: Optional[int] = None
     #: Degradation-ladder hook (see :mod:`repro.robustness.degrade`):
     #: which ladder tier these options encode.  Purely descriptive here —
     #: tier *semantics* are expressed through the other fields — but the
@@ -239,7 +244,8 @@ class ICBEOptimizer:
         if opts.summary_store_dir and opts.analysis_cache:
             from repro.analysis.store import SummaryStore
             context.attach_store(
-                SummaryStore(opts.summary_store_dir, opts.config))
+                SummaryStore(opts.summary_store_dir, opts.config,
+                             quota_bytes=opts.summary_store_quota))
         if opts.analysis_jobs > 1 and opts.analysis_cache:
             from repro.analysis.parallel import prewarm_context
             prewarm_context(current, opts.config, context,
@@ -292,8 +298,12 @@ class ICBEOptimizer:
         obs.gauge("optimize.node_growth", report.node_growth)
         report.cache.publish()
         if report.store is not None:
+            from repro.analysis.store import HEALTH_RANK
             for name, value in report.store.snapshot().items():
-                obs.add(f"store.{name}", value)
+                if name == "health":
+                    obs.gauge("store.health", HEALTH_RANK.get(value, 0))
+                elif isinstance(value, (int, float)):
+                    obs.add(f"store.{name}", value)
 
     # -- transactional phases ------------------------------------------------
 

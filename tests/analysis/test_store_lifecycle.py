@@ -1,0 +1,254 @@
+"""The store lifecycle: quota, two-phase eviction, health, degradation."""
+
+import json
+import os
+
+import pytest
+
+from tests.helpers import build
+
+from repro.analysis import AnalysisConfig, analyze_branch
+from repro.analysis.context import AnalysisContext
+from repro.analysis.store import (HEALTH_DISABLED, HEALTH_HEALTHY,
+                                  HEALTH_READ_ONLY, STORE_FORMAT,
+                                  SummaryStore, enforce_quota,
+                                  lifecycle_maintenance)
+from repro.utils.durafs import (Filesystem, FsFaultPlan, FsFaultSpec,
+                                SimulatedCrash)
+
+CONFIG = AnalysisConfig(budget=100_000)
+
+SOURCE = """
+    global err = 0;
+    proc may_fail(v) {
+        if (v < 0) { err = 1; return 0; }
+        err = 0;
+        return v;
+    }
+    proc main() {
+        var a = may_fail(input());
+        if (err == 1) { print 1; }
+    }
+"""
+
+
+def analyze_all(icfg, store=None):
+    """One analysis pass over main's branches, store optionally attached."""
+    context = AnalysisContext()
+    context.bind(icfg)
+    if store is not None:
+        context.attach_store(store)
+    results = []
+    for branch in [b.id for b in icfg.branch_nodes() if b.proc == "main"]:
+        results.append(analyze_branch(icfg, branch, CONFIG, context=context))
+    return [(r.branch_id, r.branch_answers) for r in results]
+
+
+def _seed_entries(root, sizes):
+    """Entry files of controlled size, aged in listed order (oldest first)."""
+    os.makedirs(root, exist_ok=True)
+    base_ns = 1_600_000_000_000_000_000
+    for rank, (name, size) in enumerate(sizes):
+        path = os.path.join(root, f"{name}.json")
+        with open(path, "wb") as handle:
+            handle.write(b"x" * size)
+        stamp = base_ns + rank * 1_000_000_000
+        os.utime(path, ns=(stamp, stamp))
+
+
+def _entries(root):
+    return sorted(name for name in os.listdir(root)
+                  if name.endswith(".json"))
+
+
+# ---------------------------------------------------------------------------
+# Quota enforcement: deterministic, two-phase, crash-safe.
+# ---------------------------------------------------------------------------
+
+
+def test_eviction_is_oldest_first(tmp_path):
+    root = str(tmp_path / "store")
+    _seed_entries(root, [("old", 100), ("mid", 100), ("new", 100)])
+    assert enforce_quota(root, 250) == (1, 2, 200)
+    assert _entries(root) == ["mid.json", "new.json"]
+    assert enforce_quota(root, 150) == (1, 1, 100)
+    assert _entries(root) == ["new.json"]
+    # Phase two completed: no markers left behind on the happy path.
+    assert not [n for n in os.listdir(root) if n.endswith(".evict")]
+
+
+def test_eviction_ties_break_on_name(tmp_path):
+    root = str(tmp_path / "store")
+    _seed_entries(root, [("bbb", 100), ("aaa", 100)])
+    stamp = 1_600_000_000_000_000_000
+    for name in ("aaa.json", "bbb.json"):       # identical mtime_ns
+        os.utime(os.path.join(root, name), ns=(stamp, stamp))
+    evicted, _, _ = enforce_quota(root, 100)
+    assert evicted == 1
+    assert _entries(root) == ["bbb.json"]       # 'aaa' sorts first, goes
+
+
+def test_no_quota_means_no_eviction(tmp_path):
+    root = str(tmp_path / "store")
+    _seed_entries(root, [("a", 500), ("b", 500)])
+    assert enforce_quota(root, None) == (0, 2, 1000)
+    assert len(_entries(root)) == 2
+
+
+def test_crash_between_eviction_phases_is_recovered_at_next_open(tmp_path):
+    root = str(tmp_path / "store")
+    _seed_entries(root, [("victim", 100), ("keeper", 100)])
+    # A crash fault on phase two (the marker remove) models dying
+    # between the rename and the remove: only the .evict marker stays.
+    fs = Filesystem(FsFaultPlan.crashing("store.maintenance", op="remove"))
+    with pytest.raises(SimulatedCrash):
+        enforce_quota(root, 150, fs=fs)
+    assert _entries(root) == ["keeper.json"]    # entry already unreadable
+    assert [n for n in os.listdir(root)
+            if n.endswith(".evict")] == ["victim.evict"]
+    # The next open finishes the delete unconditionally.
+    report = lifecycle_maintenance(root)
+    assert report["orphans_swept"] == 1
+    assert sorted(os.listdir(root)) == ["keeper.json"]
+
+
+def test_save_triggers_eviction_past_the_quota(tmp_path):
+    store = SummaryStore(str(tmp_path / "store"), CONFIG, quota_bytes=100)
+    payload = [{"kind": "true"}]
+    entry_bytes = len(json.dumps({"format": STORE_FORMAT,
+                                  "answers": payload},
+                                 sort_keys=True, separators=(",", ":")))
+    assert entry_bytes * 3 > 100 >= entry_bytes * 2
+    for key in ("k1", "k2", "k3", "k4"):
+        store.save(key, payload)
+    assert store.stats.stores == 4
+    assert store.stats.evictions >= 1
+    survivors = _entries(str(tmp_path / "store"))
+    assert len(survivors) * entry_bytes <= 100
+
+
+# ---------------------------------------------------------------------------
+# Open-time maintenance.
+# ---------------------------------------------------------------------------
+
+
+def test_open_sweeps_stale_orphans(tmp_path):
+    root = str(tmp_path / "store")
+    os.makedirs(root)
+    orphan = os.path.join(root, "dead.json.tmp.424242")
+    with open(orphan, "w") as handle:
+        handle.write("crashed writer debris")
+    os.utime(orphan, (1, 1))                    # ancient
+    store = SummaryStore(root, CONFIG)
+    assert store.stats.orphans_swept == 1
+    assert not os.path.exists(orphan)
+
+
+def test_maintain_false_skips_lifecycle_work(tmp_path):
+    root = str(tmp_path / "store")
+    os.makedirs(root)
+    orphan = os.path.join(root, "dead.json.tmp.424242")
+    with open(orphan, "w") as handle:
+        handle.write("debris")
+    os.utime(orphan, (1, 1))
+    _seed_entries(root, [("a", 400), ("b", 400)])
+    store = SummaryStore(root, CONFIG, quota_bytes=100, maintain=False)
+    assert store.stats.orphans_swept == 0
+    assert store.stats.evictions == 0
+    assert os.path.exists(orphan)               # untouched
+    assert len(_entries(root)) == 2             # quota not enforced
+
+
+# ---------------------------------------------------------------------------
+# The health state machine.
+# ---------------------------------------------------------------------------
+
+
+def test_consecutive_write_failures_park_the_store_read_only(tmp_path):
+    # hit=0: every write fails — a persistently full disk.
+    fs = Filesystem(FsFaultPlan([FsFaultSpec("store.entry", "write",
+                                             hit=0)]))
+    store = SummaryStore(str(tmp_path / "store"), CONFIG, fs=fs)
+    payload = [{"kind": "true"}]
+    for index in range(5):
+        store.save(f"key{index}", payload)
+    assert store.health == HEALTH_READ_ONLY
+    assert store.stats.io_errors == 3           # attempts stop at the limit
+    assert store.stats.stores == 0
+
+
+def test_one_success_resets_the_write_failure_streak(tmp_path):
+    fs = Filesystem(FsFaultPlan([FsFaultSpec("store.entry", "write", hit=1),
+                                 FsFaultSpec("store.entry", "write",
+                                             hit=2)]))
+    store = SummaryStore(str(tmp_path / "store"), CONFIG, fs=fs)
+    payload = [{"kind": "true"}]
+    store.save("k1", payload)                   # fails (streak 1)
+    store.save("k2", payload)                   # fails (streak 2)
+    store.save("k3", payload)                   # succeeds: streak resets
+    store.save("k4", payload)
+    assert store.health == HEALTH_HEALTHY
+    assert store.stats.io_errors == 2
+    assert store.stats.stores == 2
+
+
+def test_read_only_store_still_serves_hits(tmp_path):
+    root = str(tmp_path / "store")
+    warm = SummaryStore(root, CONFIG)
+    warm.save("cached", [{"kind": "true"}])
+    fs = Filesystem(FsFaultPlan([FsFaultSpec("store.entry", "write",
+                                             hit=0)]))
+    store = SummaryStore(root, CONFIG, fs=fs)
+    for index in range(3):
+        store.save(f"key{index}", [{"kind": "true"}])
+    assert store.health == HEALTH_READ_ONLY
+    assert store.load("cached") == [{"kind": "true"}]   # reads still work
+    assert store.stats.hits == 1
+
+
+def test_consecutive_read_failures_disable_the_store(tmp_path):
+    root = str(tmp_path / "store")
+    store = SummaryStore(root, CONFIG)
+    store.save("good", [{"kind": "true"}])
+    # A directory where an entry file should be raises IsADirectoryError
+    # (an OSError that is not FileNotFoundError) — a failing device as
+    # far as the health machine is concerned.
+    for name in ("sick1", "sick2", "sick3"):
+        os.makedirs(os.path.join(root, f"{name}.json"))
+    for name in ("sick1", "sick2", "sick3"):
+        assert store.load(name) is None
+    assert store.health == HEALTH_DISABLED
+    # Disabled: even a perfectly good entry is an instant miss, and the
+    # probe never touches the (presumed failing) disk again.
+    misses_before = store.stats.misses
+    assert store.load("good") is None
+    assert store.stats.misses == misses_before + 1
+
+
+def test_garbage_content_is_a_reject_not_a_health_event(tmp_path):
+    root = str(tmp_path / "store")
+    store = SummaryStore(root, CONFIG)
+    for index in range(5):
+        path = os.path.join(root, f"garbage{index}.json")
+        with open(path, "w") as handle:
+            handle.write("{torn")
+        assert store.load(f"garbage{index}") is None
+    assert store.health == HEALTH_HEALTHY       # content != device failure
+    assert store.stats.rejects == 5
+    assert store.stats.io_errors == 0
+
+
+# ---------------------------------------------------------------------------
+# The degradation contract: a sick store only ever costs misses.
+# ---------------------------------------------------------------------------
+
+
+def test_enospc_storm_answers_match_store_off(tmp_path):
+    baseline = analyze_all(build(SOURCE))       # no store at all
+    fs = Filesystem(FsFaultPlan([FsFaultSpec("store.entry", "write",
+                                             hit=0)]))
+    sick_store = SummaryStore(str(tmp_path / "store"), CONFIG, fs=fs)
+    sick = analyze_all(build(SOURCE), sick_store)
+    assert sick == baseline                     # zero wrong answers
+    assert sick_store.stats.stores == 0         # nothing persisted
+    assert sick_store.stats.io_errors > 0       # and nothing hidden

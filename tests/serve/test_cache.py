@@ -156,3 +156,49 @@ def test_normalize_fingerprint_rejects_unhashable_values():
                 {1: "non-string key"}, {"x": object()}, {"x": {2, 3}}):
         with pytest.raises(ValueError):
             normalize_fingerprint(bad)
+
+
+# -- durability: write failures are counted, orphans are swept -------------
+
+
+def test_put_write_failure_is_counted_not_fatal(tmp_path):
+    from repro.utils.durafs import Filesystem, FsFaultPlan
+    fs = Filesystem(FsFaultPlan.erroring("serve.cache", op="write"))
+    cache = ResultCache(str(tmp_path), fingerprint=dict(FINGERPRINT),
+                        fs=fs)
+    cache.put("deadbeef", {"status": "OK"})
+    assert cache.io_errors == 1
+    assert cache.stats()["io_errors"] == 1
+    # The running daemon still serves the result from memory...
+    assert cache.get("deadbeef") == {"status": "OK"}
+    # ...but a restarted one starts cold for this entry: no disk write.
+    fresh = ResultCache(str(tmp_path), fingerprint=dict(FINGERPRINT))
+    assert fresh.get("deadbeef") is None
+
+
+def test_spool_failure_is_a_structured_serve_error(tmp_path):
+    import errno
+    from repro.serve.cache import _spool_program
+    from repro.utils.durafs import Filesystem, FsFaultPlan
+    fs = Filesystem(FsFaultPlan.erroring("serve.spool", op="write"))
+    with pytest.raises(ServeError) as caught:
+        _spool_program(str(tmp_path), "cafe" * 8, "proc main() {}", fs=fs)
+    assert caught.value.context["errno"] == errno.ENOSPC
+    assert caught.value.context["path"].endswith(".mc")
+    # Jobs are only journaled once spooled: nothing half-admitted.
+    assert not os.path.exists(os.path.join(str(tmp_path), "programs",
+                                           "cafe" * 8 + ".mc"))
+
+
+def test_cache_open_sweeps_orphans_from_both_write_surfaces(tmp_path):
+    for sub, name in (("cache", "a.json.tmp.999"),
+                      ("programs", "b.mc.tmp.999")):
+        os.makedirs(str(tmp_path / sub), exist_ok=True)
+        orphan = tmp_path / sub / name
+        orphan.write_text("debris")
+        os.utime(str(orphan), (1, 1))           # long past the TTL
+    cache = ResultCache(str(tmp_path), fingerprint=dict(FINGERPRINT))
+    assert cache.orphans_swept == 2
+    assert cache.stats()["orphans_swept"] == 2
+    assert not os.path.exists(str(tmp_path / "cache" / "a.json.tmp.999"))
+    assert not os.path.exists(str(tmp_path / "programs" / "b.mc.tmp.999"))
